@@ -1,0 +1,52 @@
+//! Census benchmarks: Figure 2 classification throughput and the Figure 1
+//! estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubemesh_census::{census_3d, gray_fraction_closed_form, gray_fraction_monte_carlo};
+use cubemesh_core::classify3;
+use std::hint::black_box;
+
+fn bench_classification(c: &mut Criterion) {
+    // Raw per-mesh classification cost, on a mix of easy and hard shapes.
+    let shapes: Vec<(u64, u64, u64)> = (1..=17)
+        .flat_map(|a| (a..=19).map(move |b| (a, b, 23u64)))
+        .collect();
+    c.bench_function("classify3/mixed", |b| {
+        b.iter(|| {
+            let mut covered = 0usize;
+            for &(x, y, z) in &shapes {
+                if classify3(black_box(x), black_box(y), black_box(z)).is_some() {
+                    covered += 1;
+                }
+            }
+            black_box(covered)
+        })
+    });
+}
+
+fn bench_census_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("census3d");
+    group.sample_size(10);
+    for n in [3u32, 4, 5] {
+        group.bench_function(format!("n{}", n), |b| {
+            b.iter(|| black_box(census_3d(black_box(n))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1/closed_form_k10", |b| {
+        b.iter(|| {
+            for k in 1..=10 {
+                black_box(gray_fraction_closed_form(black_box(k)));
+            }
+        })
+    });
+    c.bench_function("fig1/monte_carlo_100k", |b| {
+        b.iter(|| black_box(gray_fraction_monte_carlo(3, 100_000, 7)))
+    });
+}
+
+criterion_group!(benches, bench_classification, bench_census_small, bench_fig1);
+criterion_main!(benches);

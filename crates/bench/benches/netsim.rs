@@ -1,0 +1,47 @@
+//! Network-simulation benchmarks: stencil-exchange makespans under
+//! different embeddings (the A1 ablation), and raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubemesh_core::embed_mesh;
+use cubemesh_embedding::gray_mesh_embedding;
+use cubemesh_netsim::{simulate, stencil_exchange};
+use cubemesh_reshape::snake_embedding;
+use cubemesh_topology::Shape;
+use std::hint::black_box;
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stencil");
+    group.sample_size(20);
+    let shape = Shape::new(&[9, 9, 9]);
+    let cases = [
+        ("decomposition", embed_mesh(&shape).0),
+        ("gray_expanded", gray_mesh_embedding(&shape)),
+        ("snake", snake_embedding(&shape)),
+    ];
+    for (name, emb) in cases {
+        let msgs = stencil_exchange(&emb, 32);
+        let host = emb.host();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(host, black_box(&msgs))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling");
+    group.sample_size(10);
+    for dims in [vec![16usize, 16], vec![32, 32], vec![16, 16, 16]] {
+        let shape = Shape::new(&dims);
+        let emb = gray_mesh_embedding(&shape);
+        let msgs = stencil_exchange(&emb, 16);
+        let host = emb.host();
+        group.bench_function(shape.to_string(), |b| {
+            b.iter(|| black_box(simulate(host, black_box(&msgs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stencil, bench_sim_scaling);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Shared helpers for the cubemesh benchmarks and the `figures`
+//! regeneration binary. The real content lives in `benches/` and
+//! `src/bin/figures.rs`.
+
+/// Format a percentage with one decimal, paper-style.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x)
+}

@@ -1,0 +1,90 @@
+//! The §5 open-mesh lists: 3-D meshes for which neither the paper's
+//! methods nor (separately) our constructive planner find a
+//! minimal-expansion dilation-2 embedding.
+
+use crate::cover::{workspace_catalog, Cover2, Cover3};
+use cubemesh_core::classify3;
+
+/// Sorted triples `(a ≤ b ≤ c)` with `a·b·c ≤ max_nodes` that fail the
+/// paper's methods 1–4. The paper reports `{5×5×5}` at 128 and
+/// additionally `{5×7×7, 3×9×9, 5×5×10, 3×5×17}` at 256.
+pub fn exceptions_up_to(max_nodes: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for a in 1..=max_nodes {
+        for b in a..=max_nodes {
+            if a * b > max_nodes {
+                break;
+            }
+            for c in b..=max_nodes {
+                if a * b * c > max_nodes {
+                    break;
+                }
+                if classify3(a as u64, b as u64, c as u64).is_none() {
+                    out.push((a, b, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Same, against the constructive planner coverage.
+pub fn constructive_exceptions_up_to(max_nodes: usize) -> Vec<(usize, usize, usize)> {
+    let (two, three) = workspace_catalog();
+    let c2 = Cover2::build(max_nodes, two);
+    let mut c3 = Cover3::new(&c2, &three);
+    let mut out = Vec::new();
+    for a in 1..=max_nodes {
+        for b in a..=max_nodes {
+            if a * b > max_nodes {
+                break;
+            }
+            for c in b..=max_nodes {
+                if a * b * c > max_nodes {
+                    break;
+                }
+                if !c3.covered(a, b, c) {
+                    out.push((a, b, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_list_at_128() {
+        assert_eq!(exceptions_up_to(128), vec![(5, 5, 5)]);
+    }
+
+    #[test]
+    fn paper_list_at_256() {
+        assert_eq!(
+            exceptions_up_to(256),
+            vec![
+                (3, 5, 17),
+                (3, 9, 9),
+                (5, 5, 5),
+                (5, 5, 10),
+                (5, 7, 7),
+            ]
+        );
+    }
+
+    #[test]
+    fn constructive_exceptions_superset_of_paper() {
+        // Everything the paper's black-box methods miss, we miss too; the
+        // constructive list may be longer (Chan's universal 2-D result is
+        // stronger than our catalog).
+        let paper: std::collections::HashSet<_> =
+            exceptions_up_to(128).into_iter().collect();
+        let ours = constructive_exceptions_up_to(128);
+        for t in &paper {
+            assert!(ours.contains(t), "{:?} missing from constructive list", t);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The evaluation harness: mesh-space censuses reproducing the paper's
+//! figures and in-text claims.
+//!
+//! * [`gray_fraction`] — Figure 1: the asymptotic fraction of k-D meshes
+//!   for which Gray code is minimal (closed form, Monte Carlo, and exact
+//!   finite-range counts);
+//! * [`three_d`] — Figure 2: the cumulative percentage of `ℓ₁×ℓ₂×ℓ₃`
+//!   meshes (`ℓᵢ ≤ 2ⁿ`, `n ≤ 9`) covered by method sets S₁..S₄, using the
+//!   paper's arithmetic classification, plus our *constructive* coverage
+//!   (what the planner can actually build);
+//! * [`two_d`] — §3.3's 2-D claim (`3×21` the sole exception ≤ 64 nodes
+//!   with the paper's direct set);
+//! * [`exceptions`] — §5's open-mesh lists at ≤ 128 and ≤ 256 nodes;
+//! * [`higher_k`] — the §8 conjecture probed at k = 4, 5;
+//! * [`cover`] — the fast existence mirror of the constructive planner
+//!   (bitmap DP for 2-D, memoized recursion for 3-D) used by the censuses
+//!   and cross-checked against [`cubemesh_core::Planner`] in tests.
+
+pub mod cover;
+pub mod exceptions;
+pub mod gray_fraction;
+pub mod higher_k;
+pub mod three_d;
+pub mod two_d;
+
+pub use cover::{Cover2, Cover3};
+pub use exceptions::{constructive_exceptions_up_to, exceptions_up_to};
+pub use gray_fraction::{gray_fraction_closed_form, gray_fraction_exact, gray_fraction_monte_carlo};
+pub use three_d::{census_3d, ThreeDCensus};
+pub use two_d::{census_2d, TwoDCensus};

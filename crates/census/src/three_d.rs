@@ -1,0 +1,149 @@
+//! The Figure 2 census: cumulative method coverage over all 3-D meshes
+//! with `1 ≤ ℓᵢ ≤ 2ⁿ`.
+
+use crate::cover::{workspace_catalog, Cover2, Cover3};
+use cubemesh_core::classify::{method1, method2, method3, method4};
+use rayon::prelude::*;
+
+/// Census results for one `n`.
+#[derive(Clone, Debug)]
+pub struct ThreeDCensus {
+    /// Axis bound exponent: `ℓᵢ ≤ 2ⁿ`.
+    pub n: u32,
+    /// `(2ⁿ)³` ordered shapes.
+    pub total: u64,
+    /// Ordered-shape counts newly covered by methods 1..4 (paper
+    /// classification).
+    pub by_method: [u64; 4],
+    /// Ordered shapes the paper's methods miss.
+    pub uncovered: u64,
+    /// Ordered shapes our *constructive* planner covers.
+    pub constructive: u64,
+}
+
+impl ThreeDCensus {
+    /// Cumulative percentages S₁..S₄ (the paper's Figure 2 series).
+    pub fn cumulative_percent(&self) -> [f64; 4] {
+        let mut acc = 0u64;
+        let mut out = [0.0; 4];
+        for (i, &c) in self.by_method.iter().enumerate() {
+            acc += c;
+            out[i] = 100.0 * acc as f64 / self.total as f64;
+        }
+        out
+    }
+
+    /// Constructive coverage percentage.
+    pub fn constructive_percent(&self) -> f64 {
+        100.0 * self.constructive as f64 / self.total as f64
+    }
+}
+
+/// Multiplicity of a sorted triple among ordered triples.
+#[inline]
+fn multiplicity(a: usize, b: usize, c: usize) -> u64 {
+    if a == b && b == c {
+        1
+    } else if a == b || b == c {
+        3
+    } else {
+        6
+    }
+}
+
+/// Run the census for `ℓᵢ ≤ 2ⁿ`. Enumerates sorted triples in parallel
+/// and weights by permutation multiplicity (the classification is
+/// permutation-invariant; tested in `cubemesh-core`).
+pub fn census_3d(n: u32) -> ThreeDCensus {
+    assert!((1..=9).contains(&n), "paper domain is n = 1..9");
+    let limit = 1usize << n;
+    let (two, three) = workspace_catalog();
+    let c2 = Cover2::build(limit, two);
+
+    let (by_method, uncovered, constructive) = (1..=limit)
+        .into_par_iter()
+        .map(|a| {
+            let mut c3 = Cover3::new(&c2, &three);
+            let mut by = [0u64; 4];
+            let mut unc = 0u64;
+            let mut cons = 0u64;
+            for b in a..=limit {
+                for c in b..=limit {
+                    let w = multiplicity(a, b, c);
+                    let (x, y, z) = (a as u64, b as u64, c as u64);
+                    if method1(x, y, z) {
+                        by[0] += w;
+                    } else if method2(x, y, z) {
+                        by[1] += w;
+                    } else if method3(x, y, z) {
+                        by[2] += w;
+                    } else if method4(x, y, z) {
+                        by[3] += w;
+                    } else {
+                        unc += w;
+                    }
+                    if c3.covered(a, b, c) {
+                        cons += w;
+                    }
+                }
+            }
+            (by, unc, cons)
+        })
+        .reduce(
+            || ([0u64; 4], 0u64, 0u64),
+            |(mut b1, u1, c1), (b2, u2, c2)| {
+                for i in 0..4 {
+                    b1[i] += b2[i];
+                }
+                (b1, u1 + u2, c1 + c2)
+            },
+        );
+
+    let total = (limit as u64).pow(3);
+    debug_assert_eq!(by_method.iter().sum::<u64>() + uncovered, total);
+    ThreeDCensus { n, total, by_method, uncovered, constructive }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_census_is_complete() {
+        let c = census_3d(1);
+        // ℓᵢ ∈ {1, 2}: everything is Gray-minimal.
+        assert_eq!(c.total, 8);
+        assert_eq!(c.by_method[0], 8);
+        assert_eq!(c.uncovered, 0);
+        assert_eq!(c.constructive, 8);
+        assert_eq!(c.cumulative_percent()[3], 100.0);
+    }
+
+    #[test]
+    fn n2_census_counts() {
+        let c = census_3d(2);
+        assert_eq!(c.total, 64);
+        assert_eq!(c.by_method.iter().sum::<u64>() + c.uncovered, 64);
+        // 3x3x3 is the only shape ≤ 4 needing method 3? Verify coverage is
+        // total (everything ≤ 4x4x4 is embeddable).
+        assert_eq!(c.uncovered, 0);
+        assert_eq!(c.constructive, 64);
+    }
+
+    #[test]
+    fn n3_has_exceptions() {
+        // 5x5x5, 5x7x7 live in the ≤ 8 domain and fail all methods.
+        let c = census_3d(3);
+        assert!(c.uncovered > 3, "at least 5x5x5 and 5x7x7 perms");
+        assert!(c.constructive <= c.total - c.uncovered,
+            "constructive can never beat the existence classification");
+    }
+
+    #[test]
+    fn multiplicities() {
+        assert_eq!(multiplicity(2, 2, 2), 1);
+        assert_eq!(multiplicity(2, 2, 3), 3);
+        assert_eq!(multiplicity(2, 3, 3), 3);
+        assert_eq!(multiplicity(2, 3, 4), 6);
+    }
+}

@@ -1,0 +1,98 @@
+//! The §3.3 2-D claim: with the paper's direct set `{3×5, 7×9, 11×11}`,
+//! Gray codes, and decomposition, every 2-D mesh of ≤ 64 nodes embeds with
+//! dilation 2 congestion 2 — except `3×21`.
+
+use crate::cover::{paper_2d_catalog, workspace_catalog, Cover2, CoverEntry};
+
+/// Census over all 2-D meshes with at most `max_nodes` nodes.
+#[derive(Clone, Debug)]
+pub struct TwoDCensus {
+    /// Node bound.
+    pub max_nodes: usize,
+    /// Sorted shapes `(a ≤ b)` the direct set + decomposition covers.
+    pub covered: Vec<(usize, usize)>,
+    /// Sorted shapes it misses.
+    pub missed: Vec<(usize, usize)>,
+}
+
+/// Run the 2-D census with a given direct set.
+pub fn census_2d_with(max_nodes: usize, catalog: Vec<CoverEntry>) -> TwoDCensus {
+    let c2 = Cover2::build(max_nodes, catalog);
+    let mut covered = Vec::new();
+    let mut missed = Vec::new();
+    for a in 1..=max_nodes {
+        for b in a..=max_nodes {
+            if a * b > max_nodes {
+                break;
+            }
+            if c2.covered(a, b) {
+                covered.push((a, b));
+            } else {
+                missed.push((a, b));
+            }
+        }
+    }
+    TwoDCensus { max_nodes, covered, missed }
+}
+
+/// The paper-faithful census (direct set `{3×5, 7×9, 11×11}`).
+pub fn census_2d(max_nodes: usize) -> TwoDCensus {
+    census_2d_with(max_nodes, paper_2d_catalog())
+}
+
+/// The census with the full workspace catalog.
+pub fn census_2d_full(max_nodes: usize) -> TwoDCensus {
+    let (two, _) = workspace_catalog();
+    census_2d_with(max_nodes, two)
+}
+
+/// Fraction of all ordered 2-D shapes with `ℓ₁, ℓ₂ ≤ max_axis` that the
+/// constructive machinery covers (the 2-D analogue of Figure 2's
+/// constructive column; the paper's [4]-backed classification would be
+/// 100 % by definition).
+pub fn coverage_fraction_2d(max_axis: usize) -> f64 {
+    let (two, _) = workspace_catalog();
+    let c2 = Cover2::build(max_axis, two);
+    let mut covered = 0u64;
+    for a in 1..=max_axis {
+        for b in a..=max_axis {
+            if c2.covered(a, b) {
+                covered += if a == b { 1 } else { 2 };
+            }
+        }
+    }
+    covered as f64 / (max_axis as u64 * max_axis as u64) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_claim_3x21_is_sole_exception() {
+        let c = census_2d(64);
+        assert_eq!(c.missed, vec![(3, 21)], "missed: {:?}", c.missed);
+    }
+
+    #[test]
+    fn full_catalog_covers_everything_to_64() {
+        let c = census_2d_full(64);
+        assert!(c.missed.is_empty(), "missed: {:?}", c.missed);
+    }
+
+    #[test]
+    fn coverage_to_128_with_full_catalog() {
+        // Beyond the paper: where does the first gap appear with our
+        // larger direct set? Record whatever it is so regressions show.
+        let c = census_2d_full(128);
+        for (a, b) in &c.missed {
+            // Any miss must at least not be Gray-minimal or in-catalog.
+            assert!(
+                !cubemesh_topology::Shape::new(&[*a, *b]).gray_is_minimal(),
+                "{}x{} should have been covered by Gray",
+                a,
+                b
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Paper-faithful arithmetic classification of 3-D meshes (§5, methods
+//! 1–4).
+//!
+//! This is what the Figure-2 census runs: pure `u64` arithmetic per mesh
+//! shape, no allocation, safe to evaluate ~10⁸ times. It answers *"which of
+//! the paper's cumulative method sets gives this mesh a minimal-expansion
+//! embedding with dilation ≤ 2?"* using the same black-box facts the paper
+//! uses:
+//!
+//! 1. **Gray code** is minimal iff `Σ ⌈log₂ ℓᵢ⌉ = ⌈log₂ Π ℓᵢ⌉` (dilation 1);
+//! 2. **any 2-D mesh** embeds in its minimal cube with dilation 2 (Chan
+//!    \[4]), so a pair + Gray third axis works iff
+//!    `⌈ℓ_aℓ_b⌉₂ · ⌈ℓ_c⌉₂ = ⌈ℓ₁ℓ₂ℓ₃⌉₂`;
+//! 3. the **`3×3×3` / `3×3×7` direct embeddings** combine with Gray by
+//!    Corollary 2 whenever `ℓᵢ = dᵢ·2^{eᵢ}` exactly (any axis permutation);
+//! 4. the **axis-splitting search**: some axis `ℓⱼ` extends/splits into
+//!    `ℓ′·ℓ″ ≥ ℓⱼ` with `⌈ℓ_aℓ′⌉₂ · ⌈ℓ″ℓ_b⌉₂ = ⌈ℓ₁ℓ₂ℓ₃⌉₂`, each piece a
+//!    2-D mesh handled by \[4].
+
+use cubemesh_topology::cube_dim;
+
+/// The cheapest method class that covers a mesh (paper §5 numbering), or
+/// `None` when methods 1–4 all fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Method {
+    /// Gray code embedding (dilation 1).
+    Gray = 1,
+    /// Dilation-2 2-D embedding of one pair of axes + Gray third.
+    PairGray = 2,
+    /// `3×3×3` or `3×3×7` direct embedding × Gray (Corollary 2).
+    Direct3d = 3,
+    /// Axis split `ℓⱼ → ℓ′·ℓ″ ≥ ℓⱼ` into two 2-D pieces (Corollary 2 + \[4]).
+    Split = 4,
+}
+
+/// Classify `l1 × l2 × l3` per the paper's cumulative methods.
+#[inline]
+pub fn classify3(l1: u64, l2: u64, l3: u64) -> Option<Method> {
+    if method1(l1, l2, l3) {
+        Some(Method::Gray)
+    } else if method2(l1, l2, l3) {
+        Some(Method::PairGray)
+    } else if method3(l1, l2, l3) {
+        Some(Method::Direct3d)
+    } else if method4(l1, l2, l3) {
+        Some(Method::Split)
+    } else {
+        None
+    }
+}
+
+/// Method 1: Gray code is minimal.
+#[inline]
+pub fn method1(l1: u64, l2: u64, l3: u64) -> bool {
+    cube_dim(l1) + cube_dim(l2) + cube_dim(l3) == cube_dim(l1 * l2 * l3)
+}
+
+/// Method 2: some pair of axes at dilation 2 (Chan) + Gray third is
+/// minimal.
+#[inline]
+pub fn method2(l1: u64, l2: u64, l3: u64) -> bool {
+    let total = cube_dim(l1 * l2 * l3);
+    cube_dim(l1 * l2) + cube_dim(l3) == total
+        || cube_dim(l2 * l3) + cube_dim(l1) == total
+        || cube_dim(l3 * l1) + cube_dim(l2) == total
+}
+
+/// Method 3: some axis permutation extends to `(3·2^a, 3·2^b, d·2^c)` with
+/// `d ∈ {3, 7}` inside the *same* minimal cube (strategy step 3 of §4.2:
+/// axes may be extended slightly when that does not grow the cube — e.g.
+/// `27×3×3 ⊆ 28×3×3 = (7×3×3) ⊙ (4×1×1)`).
+#[inline]
+pub fn method3(l1: u64, l2: u64, l3: u64) -> bool {
+    /// Minimal `e` with `d·2^e ≥ l`.
+    #[inline]
+    fn ext_pow(l: u64, d: u64) -> u32 {
+        cube_dim(l.div_ceil(d))
+    }
+    let total = cube_dim(l1 * l2 * l3);
+    let l = [l1, l2, l3];
+    for (d, base_host) in [(3u64, 5u32), (7, 6)] {
+        for c in 0..3 {
+            let a = (c + 1) % 3;
+            let b = (c + 2) % 3;
+            let host =
+                base_host + ext_pow(l[c], d) + ext_pow(l[a], 3) + ext_pow(l[b], 3);
+            if host == total {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Method 4: axis split per the paper's §5 step 4, over every axis and
+/// both pairings of the remaining axes.
+#[inline]
+pub fn method4(l1: u64, l2: u64, l3: u64) -> bool {
+    let total = cube_dim(l1 * l2 * l3);
+    split_axis_works(l2, l1, l3, total)
+        || split_axis_works(l1, l2, l3, total)
+        || split_axis_works(l3, l1, l2, total)
+}
+
+/// Does some `ℓ′·ℓ″ ≥ mid` satisfy `⌈a·ℓ′⌉₂ · ⌈ℓ″·b⌉₂ = 2^total` (in
+/// either pairing)? `ℓ″ = ⌈mid/ℓ′⌉` is the only candidate per `ℓ′`:
+/// `⌈·⌉₂` is monotone and the left side is already ≥ the target.
+#[inline]
+pub fn split_axis_works(mid: u64, a: u64, b: u64, total: u32) -> bool {
+    let mut lp = 1u64;
+    while lp <= mid {
+        let ls = mid.div_ceil(lp);
+        if cube_dim(a * lp) + cube_dim(ls * b) == total
+            || cube_dim(b * lp) + cube_dim(ls * a) == total
+        {
+            return true;
+        }
+        lp += 1;
+    }
+    false
+}
+
+/// The classification is invariant under axis permutation — used by the
+/// census to enumerate sorted triples only.
+#[cfg(test)]
+fn classify_all_perms(l: [u64; 3]) -> Vec<Option<Method>> {
+    let perms = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    perms
+        .iter()
+        .map(|p| classify3(l[p[0]], l[p[1]], l[p[2]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_method1() {
+        // 12x16x20x32 reduces axis-wise; in 3-D: 4x8x16 is pure Gray.
+        assert!(method1(4, 8, 16));
+        assert!(method1(3, 3, 1)); // 9 -> Q4, Gray 2+2+0
+        assert!(!method1(5, 6, 7));
+    }
+
+    #[test]
+    fn paper_examples_method2() {
+        // §5: for 5x10x11 more than one pairing is minimal…
+        assert!(method2(5, 10, 11));
+        // …for 6x11x7 no pairing works.
+        assert!(!method2(6, 11, 7));
+        // 5x6x7: axes 5 and 6 chosen for the 2-D embedding.
+        assert!(method2(5, 6, 7));
+        let total = cube_dim(5 * 6 * 7);
+        assert_eq!(cube_dim(5 * 6) + cube_dim(7), total);
+    }
+
+    #[test]
+    fn paper_examples_method3() {
+        assert!(method3(3, 3, 3));
+        assert!(method3(3, 3, 7));
+        assert!(method3(6, 6, 6)); // (3·2)³
+        assert!(method3(12, 3, 14)); // 3·4, 3·1, 7·2
+        assert!(!method3(5, 5, 5)); // extensions 6x6x6 / 6x6x7 leave Q7
+        // Extension inside the same cube (strategy step 3):
+        // 27x3x3 ⊆ 28x3x3 = (7·4)x3x3, host 6+2 = 8 = ⌈log₂ 243⌉.
+        assert!(method3(27, 3, 3));
+        assert!(!method2(27, 3, 3));
+        assert!(!method4(27, 3, 3));
+    }
+
+    #[test]
+    fn paper_examples_method4() {
+        // 21x9x5 embeds by (7x9x1)·(3x1x5) or (21x3x1)·(1x3x5): split
+        // works. (It is also method-2: ⌈21·9⌉₂⌈5⌉₂ = 256·8 = 2048 =
+        // ⌈945⌉₂? 945 -> 1024. 256*8 = 2048 ≠ 1024, so NOT method 2 —
+        // check pairings: ⌈9·5⌉₂⌈21⌉₂ = 64·32 = 2048; ⌈21·5⌉₂⌈9⌉₂ =
+        // 128·16 = 2048. Indeed method 4 is required.)
+        assert!(!method2(21, 9, 5));
+        assert!(method4(21, 9, 5));
+        // 3x3x23 extends to 3x3x25 = (3x5x1)·(1x… split of 23 into 5·5.
+        assert!(!method2(3, 3, 23));
+        assert!(method4(3, 3, 23));
+        // 3x25x3 splits 25 = 5·5.
+        assert!(method4(3, 25, 3));
+    }
+
+    #[test]
+    fn exceptions_fail_all_methods() {
+        // §5: the open meshes ≤ 256 nodes.
+        for (a, b, c) in [(5, 5, 5), (5, 7, 7), (3, 9, 9), (5, 5, 10), (3, 5, 17)] {
+            assert_eq!(classify3(a, b, c), None, "{}x{}x{}", a, b, c);
+        }
+    }
+
+    #[test]
+    fn classification_is_permutation_invariant() {
+        for l in [[5u64, 6, 7], [21, 9, 5], [3, 3, 23], [5, 5, 5], [6, 11, 7], [8, 4, 2]] {
+            let all = classify_all_perms(l);
+            assert!(all.windows(2).all(|w| w[0] == w[1]), "{:?}: {:?}", l, all);
+        }
+    }
+
+    #[test]
+    fn methods_are_cumulative_not_exclusive() {
+        // method1 implies method2 (pair via trivial grouping? No —
+        // method2's pair uses a dilation-2 2-D embedding of the *product*
+        // pair: ⌈l1·l2⌉₂ ≤ ⌈l1⌉₂⌈l2⌉₂ keeps it minimal whenever Gray is).
+        for (a, b, c) in [(4u64, 8, 16), (3, 3, 1), (2, 2, 2), (3, 5, 7)] {
+            if method1(a, b, c) {
+                assert!(method2(a, b, c), "{}x{}x{}", a, b, c);
+            }
+        }
+    }
+
+    #[test]
+    fn split_subsumes_pair() {
+        // ℓ′ = ℓⱼ, ℓ″ = 1 reduces method 4 to a method-2 pairing.
+        for (a, b, c) in [(5u64, 10, 11), (5, 6, 7), (3, 5, 7)] {
+            if method2(a, b, c) {
+                assert!(method4(a, b, c), "{}x{}x{}", a, b, c);
+            }
+        }
+    }
+}

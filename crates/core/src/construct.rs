@@ -1,0 +1,187 @@
+//! Lowering a [`Plan`] to a concrete, verifiable embedding.
+
+use crate::plan::{reduce, Plan};
+use crate::product::mesh_product_embedding;
+use cubemesh_embedding::builders::mesh_edge_list;
+use cubemesh_embedding::{gray_mesh_embedding, Embedding};
+use cubemesh_search::catalog_embedding;
+use cubemesh_topology::{Mesh, Shape};
+
+/// Build the embedding a plan describes for `shape`.
+///
+/// The plan must have been produced for this shape (or one with the same
+/// reduced dims); panics otherwise. The result's host cube is
+/// `Q_{plan.host_dim()}` and its dilation/congestion obey the plan's
+/// Theorem 3 bounds — property-checked in the crate tests rather than here
+/// (construction is hot in censuses).
+pub fn construct(shape: &Shape, plan: &Plan) -> Embedding {
+    let reduced = reduce(shape);
+    let emb = construct_reduced(&reduced, plan);
+    lift(emb, shape)
+}
+
+fn construct_reduced(shape: &Shape, plan: &Plan) -> Embedding {
+    match plan {
+        Plan::Gray => gray_mesh_embedding(shape),
+        Plan::Direct => catalog_embedding(shape)
+            .unwrap_or_else(|| panic!("Direct plan but {} not in catalog", shape)),
+        Plan::Product { f1, p1, f2, p2 } => {
+            // Factors are planned on their reduced shapes; construct and
+            // lift back to the product rank.
+            let e1 = lift(construct_reduced(&reduce(f1), p1), f1);
+            let e2 = lift(construct_reduced(&reduce(f2), p2), f2);
+            mesh_product_embedding(shape, f1, &e1, f2, &e2)
+        }
+    }
+}
+
+/// Re-declare a mesh embedding at a different rank with the same reduced
+/// shape. Length-1 axes change neither linear node indices nor the edge
+/// enumeration, so the map and routes transfer verbatim; only the guest
+/// edge endpoints are recomputed (and are equal as indices).
+pub fn lift(emb: Embedding, shape: &Shape) -> Embedding {
+    let mesh = Mesh::new(shape.clone());
+    assert_eq!(emb.guest_nodes(), mesh.nodes(), "lift must preserve nodes");
+    assert_eq!(
+        emb.guest_edges().len(),
+        mesh.edge_count(),
+        "lift must preserve edges"
+    );
+    let (nodes, _, host, map, routes) = emb.into_parts();
+    Embedding::new(nodes, mesh_edge_list(&mesh), host, map, routes)
+}
+
+/// Restrict a mesh embedding of `big` to the submesh `small`
+/// (`small ≤ big` axiswise): nodes with out-of-range coordinates are
+/// dropped, routes of surviving edges transfer verbatim. All metrics can
+/// only improve; the host cube is unchanged.
+pub fn restrict(emb: &Embedding, big: &Shape, small: &Shape) -> Embedding {
+    assert!(small.fits_in(big), "{} does not fit in {}", small, big);
+    assert_eq!(emb.guest_nodes(), big.nodes());
+    let idx = crate::product::MeshEdgeIndex::new(big);
+    let mesh = Mesh::new(small.clone());
+
+    let mut map = Vec::with_capacity(small.nodes());
+    for c in small.iter_coords() {
+        map.push(emb.image(big.index(&c)));
+    }
+
+    let mut edges = Vec::with_capacity(mesh.edge_count());
+    let mut routes =
+        cubemesh_embedding::RouteSet::with_capacity(mesh.edge_count(), mesh.edge_count() * 3);
+    for c in small.iter_coords() {
+        let node = small.index(&c) as u32;
+        for axis in 0..small.rank() {
+            if c[axis] + 1 >= small.len(axis) {
+                continue;
+            }
+            let stride: usize = small.dims()[axis + 1..].iter().product();
+            edges.push((node, node + stride as u32));
+            let big_edge = idx.id(big.index(&c), axis);
+            routes.push(emb.routes().route(big_edge));
+        }
+    }
+    Embedding::new(small.nodes(), edges, emb.host(), map, routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+
+    fn check(dims: &[usize]) -> cubemesh_embedding::Metrics {
+        let shape = Shape::new(dims);
+        let plan = Planner::new()
+            .plan(&shape)
+            .unwrap_or_else(|| panic!("no plan for {:?}", dims));
+        let emb = construct(&shape, &plan);
+        emb.verify().unwrap_or_else(|e| panic!("{:?}: {}", dims, e));
+        let m = emb.metrics();
+        assert!(m.is_minimal_expansion(), "{:?} not minimal", dims);
+        assert!(
+            m.dilation <= plan.dilation_bound(),
+            "{:?} dilation {} > bound {}",
+            dims,
+            m.dilation,
+            plan.dilation_bound()
+        );
+        assert!(
+            m.congestion <= plan.congestion_bound(),
+            "{:?} congestion {} > bound {}",
+            dims,
+            m.congestion,
+            plan.congestion_bound()
+        );
+        m
+    }
+
+    #[test]
+    fn paper_examples_construct_and_verify() {
+        // §4.2/§5 worked examples.
+        check(&[12, 20]); // (3x5)·(4x4)
+        check(&[3, 25, 3]); // two 3x5 pieces
+        check(&[21, 9, 5]); // (7x9x1)·(3x1x5)
+        check(&[3, 3, 23]); // extension to 3x3x25
+        check(&[5, 6, 7]); // pair (5,6) + Gray 7
+        check(&[5, 10, 11]);
+        check(&[6, 11, 7]);
+    }
+
+    #[test]
+    fn method3_style_products_construct() {
+        check(&[6, 6, 6]); // (3x3x3)·(2x2x2)
+        check(&[3, 3, 14]); // (3x3x7)·(1x1x2)
+        check(&[27, 3, 3]); // extension 28x3x3 = (7x3x3)·(4x1x1)
+    }
+
+    #[test]
+    fn direct_extension_constructs() {
+        let m = check(&[10, 11]); // inside 11x11
+        assert_eq!(m.host_dim, 7);
+    }
+
+    #[test]
+    fn gray_plans_construct_at_dilation_one() {
+        let m = check(&[4, 8, 16]);
+        assert_eq!(m.dilation, 1);
+        assert_eq!(m.congestion, 1);
+    }
+
+    #[test]
+    fn larger_meshes_construct() {
+        check(&[9, 9, 9]); // (3x9)-style splits
+        check(&[12, 10, 20]);
+        check(&[24, 20, 12]);
+    }
+
+    #[test]
+    fn four_d_construction() {
+        check(&[3, 5, 2, 4]);
+        check(&[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn restrict_keeps_metrics_bounded() {
+        let big = Shape::new(&[4, 8]);
+        let emb = gray_mesh_embedding(&big);
+        let small = Shape::new(&[3, 7]);
+        let r = restrict(&emb, &big, &small);
+        r.verify().unwrap();
+        assert_eq!(r.guest_nodes(), 21);
+        let m = r.metrics();
+        assert_eq!(m.dilation, 1);
+        assert!(m.congestion <= 1);
+        assert_eq!(r.host().dim(), emb.host().dim());
+    }
+
+    #[test]
+    fn lift_preserves_everything() {
+        let shape2 = Shape::new(&[3, 5]);
+        let emb = gray_mesh_embedding(&shape2);
+        let shape3 = Shape::new(&[3, 1, 5]);
+        let lifted = lift(emb.clone(), &shape3);
+        lifted.verify().unwrap();
+        assert_eq!(lifted.map(), emb.map());
+        assert_eq!(lifted.metrics().dilation, emb.metrics().dilation);
+    }
+}

@@ -1,0 +1,156 @@
+//! The decomposition-plan IR.
+//!
+//! A [`Plan`] records *how* a mesh is to be embedded, mirroring §4.2 of the
+//! paper: Gray-code it whole, take it from the direct catalog, or write it
+//! as (a subgraph of) a product of two planned factor meshes per
+//! Corollary 2. Plans are built by [`crate::planner::Planner`] and lowered
+//! to embeddings by [`crate::construct::construct`].
+//!
+//! Plans are expressed on *reduced* shapes (length-1 axes dropped); the
+//! construct step lifts the result back to the caller's rank, which is free
+//! because length-1 axes change neither linear indices nor edge sets.
+
+use cubemesh_search::catalog_lookup;
+use cubemesh_topology::Shape;
+use std::fmt;
+
+/// How to embed one (reduced-rank) mesh.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Binary-reflected Gray code on every axis (dilation 1).
+    Gray,
+    /// A baked direct embedding from the search catalog (dilation ≤ 2,
+    /// congestion ≤ 2, minimal cube).
+    Direct,
+    /// Corollary 2: the mesh is a subgraph of `f1 ⊙ f2` (per-axis
+    /// products, `shape ≤ f1 ⊙ f2` axiswise); embed the factors with the
+    /// sub-plans and compose with the reflected product construction.
+    Product {
+        /// First factor shape (same rank as the planned shape).
+        f1: Shape,
+        /// Plan for `f1` (on its reduced shape).
+        p1: Box<Plan>,
+        /// Second factor shape.
+        f2: Shape,
+        /// Plan for `f2` (on its reduced shape).
+        p2: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// Host-cube dimension this plan produces for `shape`.
+    pub fn host_dim(&self, shape: &Shape) -> u32 {
+        match self {
+            Plan::Gray => shape.gray_cube_dim(),
+            Plan::Direct => {
+                let reduced = reduce(shape);
+                catalog_lookup(&reduced)
+                    .map(|(e, _)| e.host_dim)
+                    .expect("Direct plan for a shape missing from the catalog")
+            }
+            Plan::Product { f1, p1, f2, p2 } => {
+                p1.host_dim(f1) + p2.host_dim(f2)
+            }
+        }
+    }
+
+    /// Worst-case dilation bound of the plan (Theorem 3: the max over the
+    /// decomposition tree; Gray = 1, Direct = 2).
+    pub fn dilation_bound(&self) -> u32 {
+        match self {
+            Plan::Gray => 1,
+            Plan::Direct => 2,
+            Plan::Product { p1, p2, .. } => {
+                p1.dilation_bound().max(p2.dilation_bound())
+            }
+        }
+    }
+
+    /// Worst-case congestion bound of the plan (Theorem 3).
+    pub fn congestion_bound(&self) -> u32 {
+        match self {
+            Plan::Gray => 1,
+            Plan::Direct => 2,
+            Plan::Product { p1, p2, .. } => {
+                p1.congestion_bound().max(p2.congestion_bound())
+            }
+        }
+    }
+
+    /// Number of leaves (Gray/Direct pieces) in the plan tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Plan::Gray | Plan::Direct => 1,
+            Plan::Product { p1, p2, .. } => p1.leaf_count() + p2.leaf_count(),
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Gray => write!(f, "gray"),
+            Plan::Direct => write!(f, "direct"),
+            Plan::Product { f1, p1, f2, p2 } => {
+                write!(f, "({} as {}) x ({} as {})", f1, p1, f2, p2)
+            }
+        }
+    }
+}
+
+/// Drop length-1 axes; a 0-rank result becomes the 1-node shape `[1]`.
+pub fn reduce(shape: &Shape) -> Shape {
+    let dims: Vec<usize> =
+        shape.dims().iter().copied().filter(|&d| d > 1).collect();
+    if dims.is_empty() {
+        Shape::new(&[1])
+    } else {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_drops_ones() {
+        assert_eq!(reduce(&Shape::new(&[1, 5, 1, 3])), Shape::new(&[5, 3]));
+        assert_eq!(reduce(&Shape::new(&[1, 1])), Shape::new(&[1]));
+        assert_eq!(reduce(&Shape::new(&[4, 4])), Shape::new(&[4, 4]));
+    }
+
+    #[test]
+    fn gray_plan_dims() {
+        let shape = Shape::new(&[5, 6, 7]);
+        assert_eq!(Plan::Gray.host_dim(&shape), 9);
+        assert_eq!(Plan::Gray.dilation_bound(), 1);
+        assert_eq!(Plan::Gray.congestion_bound(), 1);
+    }
+
+    #[test]
+    fn direct_plan_dims_from_catalog() {
+        let shape = Shape::new(&[3, 5]);
+        assert_eq!(Plan::Direct.host_dim(&shape), 4);
+        // Length-1 axes are transparent.
+        let shape3 = Shape::new(&[3, 1, 5]);
+        assert_eq!(Plan::Direct.host_dim(&shape3), 4);
+    }
+
+    #[test]
+    fn product_plan_dims_add() {
+        // 12x20 = (3x5) ⊙ (4x4) — the paper's §4.2 example.
+        let plan = Plan::Product {
+            f1: Shape::new(&[3, 5]),
+            p1: Box::new(Plan::Direct),
+            f2: Shape::new(&[4, 4]),
+            p2: Box::new(Plan::Gray),
+        };
+        let shape = Shape::new(&[12, 20]);
+        assert_eq!(plan.host_dim(&shape), 4 + 4);
+        assert_eq!(plan.dilation_bound(), 2);
+        assert_eq!(plan.congestion_bound(), 2);
+        assert_eq!(plan.leaf_count(), 2);
+        assert_eq!(shape.minimal_cube_dim(), 8);
+    }
+}

@@ -1,0 +1,505 @@
+//! The §4.2 decomposition strategy as a memoized recursive planner.
+//!
+//! [`Planner::plan`] returns a [`Plan`] whose host cube is *minimal* for
+//! the shape and whose dilation bound is ≤ 2 (congestion ≤ 2), or `None`
+//! when the strategy finds nothing — mirroring the paper, where the same
+//! shapes (e.g. `5×5×5`) remain open. The search applies, in order:
+//!
+//! 1. **Gray** whole (method 1);
+//! 2. **Direct** catalog hit, exact or by axis extension inside the same
+//!    cube (`10×11 ⊆ 11×11`, both `→ Q₇`);
+//! 3. **Power-of-two peel**: `ℓᵢ = oᵢ·2^{eᵢ}` with the odd core planned
+//!    recursively and the `2^{eᵢ}` Gray factor split off (§4.2 step 1);
+//! 4. **Catalog ⊙ factor**: a 3-D catalog entry times an exact quotient or
+//!    a Gray extension factor (method 3, generalized);
+//! 5. **Pair + Gray** (method 2), with the pair planned recursively;
+//! 6. **Axis split** `ℓⱼ → ℓ′·ℓ″ ≥ ℓⱼ` into two recursively planned 2-D
+//!    pieces (method 4), both pairings;
+//! 7. for rank ≥ 4 (beyond the paper, supporting its §8 conjecture):
+//!    bipartitions of the axis set and axis splits across bipartitions.
+//!
+//! Unlike the arithmetic classification in [`crate::classify`] (which
+//! treats Chan's 2-D result \[4] as a black box), every plan returned here
+//! is *constructible*: [`crate::construct`] lowers it to a verified
+//! embedding. The planner therefore under-covers the classification
+//! slightly; EXPERIMENTS.md quantifies the gap.
+
+use crate::plan::{reduce, Plan};
+use cubemesh_search::{catalog_entries, catalog_lookup};
+use cubemesh_topology::{cube_dim, Shape};
+use std::collections::HashMap;
+
+/// Memoized decomposition planner. Reuse one instance across queries — the
+/// memo table is shared.
+#[derive(Default)]
+pub struct Planner {
+    memo: HashMap<Vec<usize>, Option<Plan>>,
+}
+
+impl Planner {
+    /// Fresh planner with an empty memo table.
+    pub fn new() -> Self {
+        Planner::default()
+    }
+
+    /// Plan a minimal-expansion, dilation-≤2 embedding for `shape`.
+    pub fn plan(&mut self, shape: &Shape) -> Option<Plan> {
+        let reduced = reduce(shape);
+        self.plan_dims(reduced.dims().to_vec())
+    }
+
+    /// `true` if the planner covers `shape`.
+    pub fn covers(&mut self, shape: &Shape) -> bool {
+        self.plan(shape).is_some()
+    }
+
+    fn plan_dims(&mut self, dims: Vec<usize>) -> Option<Plan> {
+        if let Some(hit) = self.memo.get(&dims) {
+            return hit.clone();
+        }
+        // Cycle guard (recursion always shrinks, but stay defensive).
+        self.memo.insert(dims.clone(), None);
+        let result = self.compute(&dims);
+        self.memo.insert(dims, result.clone());
+        result
+    }
+
+    fn compute(&mut self, dims: &[usize]) -> Option<Plan> {
+        let shape = Shape::new(dims);
+        let total = shape.minimal_cube_dim();
+
+        // 1. Gray.
+        if shape.gray_is_minimal() {
+            return Some(Plan::Gray);
+        }
+        // 2. Direct, exact…
+        if catalog_lookup(&shape).is_some() {
+            return Some(Plan::Direct);
+        }
+        // …or by extension into a catalog shape with the same cube.
+        if let Some(plan) = self.direct_extension(&shape, total) {
+            return Some(plan);
+        }
+        // 3. Peel powers of two.
+        if let Some(plan) = self.peel_pow2(&shape, total) {
+            return Some(plan);
+        }
+        match dims.len() {
+            0 | 1 => None, // Gray is always minimal for rank ≤ 1; unreachable.
+            2 => self.plan2(&shape, total),
+            3 => self.plan3(&shape, total),
+            _ => self.plan_k(&shape, total),
+        }
+    }
+
+    /// Rule 2b: `shape ≤ entry` axiswise (some permutation) with the same
+    /// minimal cube.
+    fn direct_extension(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+        let k = shape.rank();
+        for entry in catalog_entries() {
+            if entry.dims.len() != k || entry.host_dim != total {
+                continue;
+            }
+            // Try to assign each shape axis under a distinct entry axis.
+            if fits_under_permuted(shape.dims(), entry.dims) {
+                let target: Vec<usize> = sorted_cover(shape.dims(), entry.dims);
+                let ones = Shape::new(&vec![1; k]);
+                return Some(Plan::Product {
+                    f1: Shape::new(&target),
+                    p1: Box::new(Plan::Direct),
+                    f2: ones,
+                    p2: Box::new(Plan::Gray),
+                });
+            }
+        }
+        None
+    }
+
+    /// Rule 3: write `ℓᵢ = oᵢ·2^{eᵢ}`, plan the odd core, Gray the rest.
+    fn peel_pow2(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+        let mut odd = Vec::with_capacity(shape.rank());
+        let mut pow = Vec::with_capacity(shape.rank());
+        let mut epsilon = 0u32;
+        for &d in shape.dims() {
+            let e = d.trailing_zeros();
+            odd.push(d >> e);
+            pow.push(1usize << e);
+            epsilon += e;
+        }
+        if epsilon == 0 {
+            return None; // nothing to peel
+        }
+        let odd_shape = Shape::new(&odd);
+        let odd_total = cube_dim(odd_shape.nodes() as u64);
+        if odd_total + epsilon != total {
+            return None;
+        }
+        let p1 = self.plan(&odd_shape)?;
+        Some(Plan::Product {
+            f1: odd_shape,
+            p1: Box::new(p1),
+            f2: Shape::new(&pow),
+            p2: Box::new(Plan::Gray),
+        })
+    }
+
+    /// Rank-2 strategy: axis splits `ℓ → ℓ′·ℓ″ ≥ ℓ`.
+    fn plan2(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+        let (l1, l2) = (shape.len(0), shape.len(1));
+        // Split axis 1: pieces (l1 × ℓ′) and (1 × ℓ″).
+        for (axis, la, lm) in [(1usize, l1, l2), (0, l2, l1)] {
+            for lp in 2..lm {
+                let ls = lm.div_ceil(lp);
+                if cube_dim((la * lp) as u64) + cube_dim(ls as u64) != total {
+                    continue;
+                }
+                let piece = Shape::new(&[la, lp]);
+                if let Some(p1) = self.plan(&piece) {
+                    let (f1, f2) = if axis == 1 {
+                        (Shape::new(&[la, lp]), Shape::new(&[1, ls]))
+                    } else {
+                        (Shape::new(&[lp, la]), Shape::new(&[ls, 1]))
+                    };
+                    return Some(Plan::Product {
+                        f1,
+                        p1: Box::new(p1),
+                        f2,
+                        p2: Box::new(Plan::Gray),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Rank-3 strategy: catalog⊙quotient, pair + Gray, axis splits.
+    fn plan3(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+        let l: Vec<usize> = shape.dims().to_vec();
+
+        // 4. Catalog entry ⊙ planned factor (exact quotient or Gray
+        //    extension).
+        if let Some(plan) = self.catalog_product3(shape, total) {
+            return Some(plan);
+        }
+
+        // 5. Pair + Gray third (method 2).
+        for c in 0..3 {
+            let a = (c + 1) % 3;
+            let b = (c + 2) % 3;
+            if cube_dim((l[a] * l[b]) as u64) + cube_dim(l[c] as u64) != total {
+                continue;
+            }
+            let pair = Shape::new(&[l[a], l[b]]);
+            if let Some(p1) = self.plan(&pair) {
+                let mut f1 = vec![1usize; 3];
+                f1[a] = l[a];
+                f1[b] = l[b];
+                let mut f2 = vec![1usize; 3];
+                f2[c] = l[c];
+                return Some(Plan::Product {
+                    f1: Shape::new(&f1),
+                    p1: Box::new(p1),
+                    f2: Shape::new(&f2),
+                    p2: Box::new(Plan::Gray),
+                });
+            }
+        }
+
+        // 6. Axis split (method 4): ℓⱼ → ℓ′·ℓ″, pieces (la×ℓ′), (ℓ″×lb).
+        for j in 0..3 {
+            let a = (j + 1) % 3;
+            let b = (j + 2) % 3;
+            for (a, b) in [(a, b), (b, a)] {
+                for lp in 2..l[j] {
+                    let ls = l[j].div_ceil(lp);
+                    if cube_dim((l[a] * lp) as u64) + cube_dim((ls * l[b]) as u64)
+                        != total
+                    {
+                        continue;
+                    }
+                    let piece1 = Shape::new(&[l[a], lp]);
+                    let piece2 = Shape::new(&[ls, l[b]]);
+                    if let (Some(p1), Some(p2)) =
+                        (self.plan(&piece1), self.plan(&piece2))
+                    {
+                        let mut f1 = vec![1usize; 3];
+                        f1[a] = l[a];
+                        f1[j] = lp;
+                        let mut f2 = vec![1usize; 3];
+                        f2[j] = ls;
+                        f2[b] = l[b];
+                        return Some(Plan::Product {
+                            f1: Shape::new(&f1),
+                            p1: Box::new(p1),
+                            f2: Shape::new(&f2),
+                            p2: Box::new(p2),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Rule 4 helper: 3-D catalog entries times exact quotients or Gray
+    /// extension factors.
+    fn catalog_product3(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+        let l = shape.dims();
+        for entry in catalog_entries() {
+            if entry.dims.len() != 3 {
+                continue;
+            }
+            for perm in PERMS3 {
+                let d = [entry.dims[perm[0]], entry.dims[perm[1]], entry.dims[perm[2]]];
+                // (a) Gray extension: f2ᵢ = 2^{eᵢ}, minimal eᵢ.
+                let e: u32 = (0..3)
+                    .map(|i| cube_dim(l[i].div_ceil(d[i]) as u64))
+                    .sum();
+                if entry.host_dim + e == total {
+                    let f1 = Shape::new(&d);
+                    let f2: Vec<usize> = (0..3)
+                        .map(|i| 1usize << cube_dim(l[i].div_ceil(d[i]) as u64))
+                        .collect();
+                    return Some(Plan::Product {
+                        f1,
+                        p1: Box::new(Plan::Direct),
+                        f2: Shape::new(&f2),
+                        p2: Box::new(Plan::Gray),
+                    });
+                }
+                // (b) Exact quotient, planned recursively.
+                if (0..3).all(|i| l[i].is_multiple_of(d[i])) {
+                    let q: Vec<usize> = (0..3).map(|i| l[i] / d[i]).collect();
+                    let q_shape = Shape::new(&q);
+                    if let Some(p2) = self.plan(&q_shape) {
+                        if entry.host_dim + p2.host_dim(&reduce(&q_shape)) == total {
+                            return Some(Plan::Product {
+                                f1: Shape::new(&d),
+                                p1: Box::new(Plan::Direct),
+                                f2: q_shape,
+                                p2: Box::new(p2),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Rank ≥ 4 (beyond the paper): bipartitions and cross-partition axis
+    /// splits.
+    fn plan_k(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+        let k = shape.rank();
+        let l = shape.dims();
+        // Bipartitions of the axis set.
+        for mask in 1..(1u32 << k) - 1 {
+            let mut g1 = vec![1usize; k];
+            let mut g2 = vec![1usize; k];
+            for i in 0..k {
+                if mask & (1 << i) != 0 {
+                    g1[i] = l[i];
+                } else {
+                    g2[i] = l[i];
+                }
+            }
+            let s1 = Shape::new(&g1);
+            let s2 = Shape::new(&g2);
+            let h1 = cube_dim(s1.nodes() as u64);
+            let h2 = cube_dim(s2.nodes() as u64);
+            if h1 + h2 != total {
+                continue;
+            }
+            if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
+                return Some(Plan::Product {
+                    f1: s1,
+                    p1: Box::new(p1),
+                    f2: s2,
+                    p2: Box::new(p2),
+                });
+            }
+        }
+        // Axis splits across bipartitions of the remaining axes.
+        for j in 0..k {
+            if l[j] < 3 {
+                continue;
+            }
+            let others: Vec<usize> = (0..k).filter(|&i| i != j).collect();
+            for mask in 0..(1u32 << others.len()) {
+                for lp in 2..l[j] {
+                    let ls = l[j].div_ceil(lp);
+                    let mut g1 = vec![1usize; k];
+                    let mut g2 = vec![1usize; k];
+                    g1[j] = lp;
+                    g2[j] = ls;
+                    for (bit, &i) in others.iter().enumerate() {
+                        if mask & (1 << bit) != 0 {
+                            g1[i] = l[i];
+                        } else {
+                            g2[i] = l[i];
+                        }
+                    }
+                    let s1 = Shape::new(&g1);
+                    let s2 = Shape::new(&g2);
+                    if cube_dim(s1.nodes() as u64) + cube_dim(s2.nodes() as u64)
+                        != total
+                    {
+                        continue;
+                    }
+                    if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
+                        return Some(Plan::Product {
+                            f1: s1,
+                            p1: Box::new(p1),
+                            f2: s2,
+                            p2: Box::new(p2),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+const PERMS3: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Can each of `dims` be matched one-to-one under some permutation of
+/// `cover` with `dims[i] ≤ cover[σ(i)]`?
+fn fits_under_permuted(dims: &[usize], cover: &[usize]) -> bool {
+    // Greedy works because both are small (k ≤ 3 in the catalog): sort both
+    // ascending and compare elementwise.
+    let mut a: Vec<usize> = dims.to_vec();
+    let mut b: Vec<usize> = cover.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    a.iter().zip(&b).all(|(x, y)| x <= y)
+}
+
+/// The cover's dims arranged so `dims[i] ≤ out[i]` — ascending-by-rank
+/// matching (valid per [`fits_under_permuted`]).
+fn sorted_cover(dims: &[usize], cover: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..dims.len()).collect();
+    order.sort_by_key(|&i| dims[i]);
+    let mut b: Vec<usize> = cover.to_vec();
+    b.sort_unstable();
+    let mut out = vec![0usize; dims.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        out[i] = b[rank];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_of(dims: &[usize]) -> Option<Plan> {
+        Planner::new().plan(&Shape::new(dims))
+    }
+
+    #[test]
+    fn gray_minimal_meshes_plan_as_gray() {
+        assert_eq!(plan_of(&[4, 8, 16]), Some(Plan::Gray));
+        assert_eq!(plan_of(&[3, 3]), Some(Plan::Gray));
+        assert_eq!(plan_of(&[7]), Some(Plan::Gray));
+        assert_eq!(plan_of(&[1, 1, 1]), Some(Plan::Gray));
+    }
+
+    #[test]
+    fn catalog_meshes_plan_as_direct() {
+        assert_eq!(plan_of(&[3, 5]), Some(Plan::Direct));
+        assert_eq!(plan_of(&[3, 3, 3]), Some(Plan::Direct));
+        assert_eq!(plan_of(&[7, 3, 3]), Some(Plan::Direct)); // permuted 3x3x7
+        assert_eq!(plan_of(&[5, 1, 3]), Some(Plan::Direct)); // 1-axes dropped
+    }
+
+    #[test]
+    fn plans_are_minimal_expansion() {
+        let mut planner = Planner::new();
+        for dims in [
+            vec![12usize, 20],
+            vec![5, 6, 7],
+            vec![21, 9, 5],
+            vec![3, 3, 23],
+            vec![6, 6, 6],
+            vec![27, 3, 3],
+            vec![9, 9, 9],
+            vec![10, 11],
+        ] {
+            let shape = Shape::new(&dims);
+            let plan = planner
+                .plan(&shape)
+                .unwrap_or_else(|| panic!("no plan for {:?}", dims));
+            assert_eq!(
+                plan.host_dim(&reduce(&shape)),
+                shape.minimal_cube_dim(),
+                "{:?}: {}",
+                dims,
+                plan
+            );
+            assert!(plan.dilation_bound() <= 2);
+            assert!(plan.congestion_bound() <= 2);
+        }
+    }
+
+    #[test]
+    fn open_meshes_have_no_plan() {
+        // The paper's §5 exceptions must remain unplanned.
+        let mut planner = Planner::new();
+        for dims in [
+            vec![5usize, 5, 5],
+            vec![5, 7, 7],
+            vec![3, 9, 9],
+            vec![5, 5, 10],
+            vec![3, 5, 17],
+        ] {
+            assert_eq!(planner.plan(&Shape::new(&dims)), None, "{:?}", dims);
+        }
+    }
+
+    #[test]
+    fn paper_worked_examples_plan() {
+        let mut planner = Planner::new();
+        // 12x20 = (3x5) ⊙ (4x4).
+        let plan = planner.plan(&Shape::new(&[12, 20])).unwrap();
+        assert!(matches!(plan, Plan::Product { .. }));
+        // 3x25x3 reduces to two 3x5 pieces.
+        assert!(planner.covers(&Shape::new(&[3, 25, 3])));
+        // 5x10x11: minimal via a pair.
+        assert!(planner.covers(&Shape::new(&[5, 10, 11])));
+        // 6x11x7: no pairing is minimal but splits work or not — at least
+        // classification says method 4 covers it; check the planner agrees.
+        assert!(planner.covers(&Shape::new(&[6, 11, 7])));
+    }
+
+    #[test]
+    fn four_dimensional_extension_conjecture() {
+        // §8 conjectures higher-k meshes mostly decompose; check a few.
+        let mut planner = Planner::new();
+        assert!(planner.covers(&Shape::new(&[3, 5, 2, 4])));
+        assert!(planner.covers(&Shape::new(&[3, 3, 3, 3])));
+        assert_eq!(
+            planner.plan(&Shape::new(&[2, 4, 8, 16])),
+            Some(Plan::Gray)
+        );
+    }
+
+    #[test]
+    fn fits_under_permuted_works() {
+        assert!(fits_under_permuted(&[10, 11], &[11, 11]));
+        assert!(fits_under_permuted(&[11, 10], &[11, 11]));
+        assert!(!fits_under_permuted(&[12, 3], &[11, 11]));
+        assert!(fits_under_permuted(&[3, 7, 3], &[3, 3, 7]));
+        let cover = sorted_cover(&[11, 10], &[11, 11]);
+        assert_eq!(cover, vec![11, 11]);
+        let cover = sorted_cover(&[7, 2, 3], &[3, 3, 7]);
+        assert_eq!(cover, vec![7, 3, 3]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Convenience constructors for mesh embeddings.
+
+use crate::map::Embedding;
+use crate::route::RouteSet;
+use crate::router::{route_all, RouteStrategy};
+use cubemesh_gray::{gray_mesh_address, AxisLayout};
+use cubemesh_topology::{Hypercube, Mesh, Shape};
+
+/// The canonical edge list of a mesh, in [`Mesh::edges`] order, as index
+/// pairs. Every mesh embedding in the workspace uses this order so routes
+/// line up.
+pub fn mesh_edge_list(mesh: &Mesh) -> Vec<(u32, u32)> {
+    mesh.edges()
+        .map(|e| {
+            let (a, b) = mesh.edge_endpoints(e);
+            (a as u32, b as u32)
+        })
+        .collect()
+}
+
+/// Build a mesh embedding from an address function, generating routes with
+/// the given strategy.
+///
+/// The address function receives mesh coordinates and must return a node of
+/// `host`; injectivity is *not* checked here (call
+/// [`Embedding::verify`]).
+pub fn mesh_embedding_from_fn(
+    shape: &Shape,
+    host: Hypercube,
+    f: impl Fn(&[usize]) -> u64,
+    strategy: RouteStrategy,
+) -> Embedding {
+    let mesh = Mesh::new(shape.clone());
+    let map: Vec<u64> = shape.iter_coords().map(|c| f(&c)).collect();
+    let edges = mesh_edge_list(&mesh);
+    let routes = route_all(&map, &edges, host, strategy);
+    Embedding::new(mesh.nodes(), edges, host, map, routes)
+}
+
+/// Build a mesh embedding from an explicit node map (indexed in row-major
+/// order), generating routes with the given strategy.
+pub fn mesh_embedding_with_router(
+    shape: &Shape,
+    host: Hypercube,
+    map: Vec<u64>,
+    strategy: RouteStrategy,
+) -> Embedding {
+    let mesh = Mesh::new(shape.clone());
+    assert_eq!(map.len(), mesh.nodes());
+    let edges = mesh_edge_list(&mesh);
+    let routes = route_all(&map, &edges, host, strategy);
+    Embedding::new(mesh.nodes(), edges, host, map, routes)
+}
+
+/// The binary-reflected Gray-code embedding of §3.1: dilation 1,
+/// congestion 1, host dimension `Σᵢ ⌈log₂ ℓᵢ⌉`.
+///
+/// This is the paper's method 1; its expansion is minimal exactly when
+/// [`Shape::gray_is_minimal`] holds (Theorem 1 makes this the best any
+/// dilation-one embedding can do).
+pub fn gray_mesh_embedding(shape: &Shape) -> Embedding {
+    let layout = AxisLayout::from_shape(shape);
+    let host = Hypercube::new(layout.total_dim());
+    let mesh = Mesh::new(shape.clone());
+    let map: Vec<u64> =
+        shape.iter_coords().map(|c| gray_mesh_address(&layout, &c)).collect();
+    let edges = mesh_edge_list(&mesh);
+    let mut routes = RouteSet::with_capacity(edges.len(), edges.len() * 2);
+    for &(u, v) in &edges {
+        routes.push(&[map[u as usize], map[v as usize]]);
+    }
+    Embedding::new(mesh.nodes(), edges, host, map, routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_embedding_is_dilation_one_congestion_one() {
+        for dims in [vec![4usize, 8], vec![5, 6], vec![3, 5, 7], vec![2, 2, 2, 2]] {
+            let shape = Shape::new(&dims);
+            let e = gray_mesh_embedding(&shape);
+            e.verify().unwrap();
+            let m = e.metrics();
+            assert_eq!(m.dilation, 1, "shape {:?}", dims);
+            assert_eq!(m.congestion, 1, "shape {:?}", dims);
+            assert_eq!(m.avg_dilation, 1.0);
+            assert_eq!(m.host_dim, shape.gray_cube_dim());
+        }
+    }
+
+    #[test]
+    fn gray_expansion_matches_theory() {
+        // 5x6x7: Gray needs 3+3+3 = 9 dims for 210 nodes -> expansion 512/210.
+        let shape = Shape::new(&[5, 6, 7]);
+        let e = gray_mesh_embedding(&shape);
+        assert!((e.expansion() - 512.0 / 210.0).abs() < 1e-12);
+        assert!(!e.metrics().is_minimal_expansion());
+
+        // 3x3: minimal.
+        let shape = Shape::new(&[3, 3]);
+        let e = gray_mesh_embedding(&shape);
+        assert!(e.metrics().is_minimal_expansion());
+    }
+
+    #[test]
+    fn from_fn_builder_roundtrip() {
+        let shape = Shape::new(&[2, 3]);
+        let host = Hypercube::new(3);
+        // Identity-ish packing: linear index as address.
+        let e = mesh_embedding_from_fn(
+            &shape,
+            host,
+            |c| (c[0] * 3 + c[1]) as u64,
+            RouteStrategy::Canonical,
+        );
+        e.verify().unwrap();
+        assert_eq!(e.guest_nodes(), 6);
+    }
+
+    #[test]
+    fn single_node_mesh_embeds_in_point_cube() {
+        let shape = Shape::new(&[1, 1]);
+        let e = gray_mesh_embedding(&shape);
+        e.verify().unwrap();
+        assert_eq!(e.host().dim(), 0);
+        assert_eq!(e.metrics().dilation, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The [`Embedding`] type: a guest graph, a host cube, a node map, routes.
+
+use crate::route::RouteSet;
+use crate::verify::{self, VerifyError};
+use cubemesh_topology::Hypercube;
+
+/// A one-to-one embedding `φ : G → Q_n` with explicit edge routes
+/// (Definition 1 of the paper).
+///
+/// The guest graph is stored as its node count plus an edge list; mesh and
+/// torus guests use the canonical edge enumeration order of
+/// [`cubemesh_topology::Mesh::edges`] / [`cubemesh_topology::Torus::edges`]
+/// so that route indices line up across crates.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    guest_nodes: usize,
+    guest_edges: Vec<(u32, u32)>,
+    host: Hypercube,
+    map: Vec<u64>,
+    routes: RouteSet,
+}
+
+impl Embedding {
+    /// Assemble an embedding from parts. Cheap structural checks only
+    /// (lengths agree); semantic validation is [`Embedding::verify`].
+    ///
+    /// # Panics
+    /// Panics if `map.len() != guest_nodes` or `routes.len()` differs from
+    /// the edge count.
+    pub fn new(
+        guest_nodes: usize,
+        guest_edges: Vec<(u32, u32)>,
+        host: Hypercube,
+        map: Vec<u64>,
+        routes: RouteSet,
+    ) -> Self {
+        assert_eq!(map.len(), guest_nodes, "map length != node count");
+        assert_eq!(routes.len(), guest_edges.len(), "route count != edge count");
+        Embedding { guest_nodes, guest_edges, host, map, routes }
+    }
+
+    /// Number of guest nodes.
+    #[inline]
+    pub fn guest_nodes(&self) -> usize {
+        self.guest_nodes
+    }
+
+    /// Guest edge list (each edge once; order is the canonical enumeration
+    /// order of whichever builder produced this embedding).
+    #[inline]
+    pub fn guest_edges(&self) -> &[(u32, u32)] {
+        &self.guest_edges
+    }
+
+    /// The host cube.
+    #[inline]
+    pub fn host(&self) -> Hypercube {
+        self.host
+    }
+
+    /// The node map `φ`.
+    #[inline]
+    pub fn map(&self) -> &[u64] {
+        &self.map
+    }
+
+    /// Image of guest node `v`.
+    #[inline]
+    pub fn image(&self, v: usize) -> u64 {
+        self.map[v]
+    }
+
+    /// The routes, parallel to [`Self::guest_edges`].
+    #[inline]
+    pub fn routes(&self) -> &RouteSet {
+        &self.routes
+    }
+
+    /// Expansion `|V(H)| / |V(G)|` (Definition 1).
+    #[inline]
+    pub fn expansion(&self) -> f64 {
+        self.host.nodes() as f64 / self.guest_nodes as f64
+    }
+
+    /// `true` if the host is the *minimal* cube for this guest
+    /// (`n = ⌈log₂ |V(G)|⌉`), i.e. the embedding has minimal expansion.
+    #[inline]
+    pub fn is_minimal_expansion(&self) -> bool {
+        self.host.dim() == cubemesh_topology::cube_dim(self.guest_nodes as u64)
+    }
+
+    /// Full semantic validation: injectivity, address ranges, and that every
+    /// route is a path in the cube connecting the images of its edge's
+    /// endpoints.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        verify::verify_embedding(self)
+    }
+
+    /// Compute all metrics (never fails; call [`Self::verify`] first if the
+    /// embedding comes from untrusted construction code).
+    pub fn metrics(&self) -> crate::metrics::Metrics {
+        crate::metrics::metrics(self)
+    }
+
+    /// Replace the routes (e.g. re-route with a different strategy). The new
+    /// route set must have one route per guest edge.
+    pub fn set_routes(&mut self, routes: RouteSet) {
+        assert_eq!(routes.len(), self.guest_edges.len());
+        self.routes = routes;
+    }
+
+    /// Decompose into parts (used by composition code in `cubemesh-core`).
+    pub fn into_parts(self) -> (usize, Vec<(u32, u32)>, Hypercube, Vec<u64>, RouteSet) {
+        (self.guest_nodes, self.guest_edges, self.host, self.map, self.routes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Embedding {
+        // Path 0-1-2 into Q_2: 00, 01, 11.
+        let mut routes = RouteSet::new();
+        routes.push(&[0b00, 0b01]);
+        routes.push(&[0b01, 0b11]);
+        Embedding::new(
+            3,
+            vec![(0, 1), (1, 2)],
+            Hypercube::new(2),
+            vec![0b00, 0b01, 0b11],
+            routes,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let e = tiny();
+        assert_eq!(e.guest_nodes(), 3);
+        assert_eq!(e.image(2), 0b11);
+        assert_eq!(e.expansion(), 4.0 / 3.0);
+        assert!(e.is_minimal_expansion());
+        assert!(e.verify().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_routes_rejected() {
+        Embedding::new(2, vec![(0, 1)], Hypercube::new(1), vec![0, 1], RouteSet::new());
+    }
+}

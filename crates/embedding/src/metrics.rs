@@ -1,0 +1,190 @@
+//! Expansion, dilation, congestion, and their averages (Definitions 1–3),
+//! plus the load-factor of §7 for many-to-one maps.
+
+use crate::map::Embedding;
+use cubemesh_topology::Hypercube;
+
+/// All figures of merit of an embedding.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metrics {
+    /// Host cube dimension `n`.
+    pub host_dim: u32,
+    /// `|V(G)|`.
+    pub guest_nodes: usize,
+    /// `|E(G)|`.
+    pub guest_edge_count: usize,
+    /// `|V(H)| / |V(G)|`.
+    pub expansion: f64,
+    /// `max_e |φ(e)|`.
+    pub dilation: u32,
+    /// `Σ_e |φ(e)| / |E(G)|`.
+    pub avg_dilation: f64,
+    /// `max_{e'∈E(H)} cong(e')`.
+    pub congestion: u32,
+    /// `Σ_{e'∈E(H)} cong(e') / |E(H)| = Σ_e |φ(e)| / |E(H)|`.
+    pub avg_congestion: f64,
+}
+
+impl Metrics {
+    /// `true` if the embedding is into the minimal cube.
+    pub fn is_minimal_expansion(&self) -> bool {
+        let minimal = cubemesh_topology::cube_dim(self.guest_nodes as u64);
+        self.host_dim == minimal
+    }
+}
+
+/// Compute all metrics of an embedding.
+///
+/// Congestion is computed by sorting the dense edge indices of every route
+/// step and counting runs — O(L log L) in the total route length L, with no
+/// per-host-edge allocation, so it scales to guests with millions of edges
+/// in cubes far too large to materialize.
+pub fn metrics(e: &Embedding) -> Metrics {
+    let host = e.host();
+    let routes = e.routes();
+    let guest_edge_count = e.guest_edges().len();
+
+    let mut dilation = 0u32;
+    let total_len = routes.total_length();
+    let mut steps: Vec<u64> = Vec::with_capacity(total_len as usize);
+    for i in 0..routes.len() {
+        dilation = dilation.max(routes.dilation(i));
+        let r = routes.route(i);
+        for w in r.windows(2) {
+            let bit = (w[0] ^ w[1]).trailing_zeros();
+            steps.push(host.edge_index(w[0], bit) as u64);
+        }
+    }
+    let congestion = max_run_length(&mut steps);
+
+    let host_edges = host.edge_count();
+    Metrics {
+        host_dim: host.dim(),
+        guest_nodes: e.guest_nodes(),
+        guest_edge_count,
+        expansion: e.expansion(),
+        dilation,
+        avg_dilation: if guest_edge_count == 0 {
+            0.0
+        } else {
+            total_len as f64 / guest_edge_count as f64
+        },
+        congestion,
+        avg_congestion: if host_edges == 0 {
+            0.0
+        } else {
+            total_len as f64 / host_edges as f64
+        },
+    }
+}
+
+/// Longest run in the multiset `items` (sorted in place).
+fn max_run_length(items: &mut [u64]) -> u32 {
+    items.sort_unstable();
+    let mut best = 0u32;
+    let mut run = 0u32;
+    let mut prev = None;
+    for &x in items.iter() {
+        if prev == Some(x) {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(x);
+        }
+        best = best.max(run);
+    }
+    best
+}
+
+/// Load-factor (Definition 5): the maximum number of guest nodes mapped to
+/// one host node. For one-to-one maps this is 1 (or 0 for an empty map).
+pub fn load_factor(map: &[u64], host: Hypercube) -> u32 {
+    debug_assert!(map.iter().all(|&a| host.contains(a)));
+    let _ = host;
+    let mut sorted: Vec<u64> = map.to_vec();
+    max_run_length(&mut sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteSet;
+
+    fn ring4_in_q2() -> Embedding {
+        // 4-ring onto all of Q2 via the cyclic Gray code.
+        let map = vec![0b00, 0b01, 0b11, 0b10];
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 3), (0, 3)];
+        let mut rs = RouteSet::new();
+        rs.push(&[0b00, 0b01]);
+        rs.push(&[0b01, 0b11]);
+        rs.push(&[0b11, 0b10]);
+        rs.push(&[0b00, 0b10]);
+        Embedding::new(4, edges, Hypercube::new(2), map, rs)
+    }
+
+    #[test]
+    fn perfect_embedding_metrics() {
+        let e = ring4_in_q2();
+        e.verify().unwrap();
+        let m = e.metrics();
+        assert_eq!(m.dilation, 1);
+        assert_eq!(m.congestion, 1);
+        assert_eq!(m.expansion, 1.0);
+        assert_eq!(m.avg_dilation, 1.0);
+        assert_eq!(m.avg_congestion, 1.0);
+        assert!(m.is_minimal_expansion());
+    }
+
+    #[test]
+    fn dilated_route_counts() {
+        // Path 0-1 mapped to opposite corners of Q2 with a length-2 route.
+        let mut rs = RouteSet::new();
+        rs.push(&[0b00, 0b01, 0b11]);
+        let e = Embedding::new(2, vec![(0, 1)], Hypercube::new(2), vec![0b00, 0b11], rs);
+        e.verify().unwrap();
+        let m = e.metrics();
+        assert_eq!(m.dilation, 2);
+        assert_eq!(m.avg_dilation, 2.0);
+        assert_eq!(m.congestion, 1);
+        assert_eq!(m.expansion, 2.0);
+        assert!(!m.is_minimal_expansion());
+    }
+
+    #[test]
+    fn congestion_counts_overlaps() {
+        // Two guest edges routed across the same cube edge 00-01.
+        let mut rs = RouteSet::new();
+        rs.push(&[0b00, 0b01]);
+        rs.push(&[0b10, 0b00, 0b01, 0b11]);
+        let e = Embedding::new(
+            4,
+            vec![(0, 1), (2, 3)],
+            Hypercube::new(2),
+            vec![0b00, 0b01, 0b10, 0b11],
+            rs,
+        );
+        e.verify().unwrap();
+        let m = e.metrics();
+        assert_eq!(m.congestion, 2);
+        assert_eq!(m.dilation, 3);
+    }
+
+    #[test]
+    fn zero_edge_guest() {
+        let e = Embedding::new(1, vec![], Hypercube::new(0), vec![0], RouteSet::new());
+        let m = e.metrics();
+        assert_eq!(m.dilation, 0);
+        assert_eq!(m.congestion, 0);
+        assert_eq!(m.avg_dilation, 0.0);
+        assert_eq!(m.avg_congestion, 0.0);
+    }
+
+    #[test]
+    fn load_factor_counts_max_multiplicity() {
+        let host = Hypercube::new(2);
+        assert_eq!(load_factor(&[0, 1, 2, 3], host), 1);
+        assert_eq!(load_factor(&[0, 1, 1, 3], host), 2);
+        assert_eq!(load_factor(&[2, 2, 2, 2], host), 4);
+        assert_eq!(load_factor(&[], host), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A plain-text interchange format for embeddings.
+//!
+//! Planning a large embedding can be expensive; downstream tools (or a
+//! machine's loader) only need the result. The format is line-oriented,
+//! versioned, and dependency-free:
+//!
+//! ```text
+//! cubemesh-embedding v1
+//! guest_nodes 15
+//! host_dim 4
+//! map 0 1 3 2 …
+//! edges 0 1 0 5 1 2 …
+//! route 0 1
+//! route 0 4 5
+//! …
+//! end
+//! ```
+//!
+//! Addresses and node ids are decimal; routes appear in guest-edge order.
+
+use crate::map::Embedding;
+use crate::route::RouteSet;
+use cubemesh_topology::Hypercube;
+use std::io::{self, BufRead, Write};
+
+const MAGIC: &str = "cubemesh-embedding v1";
+
+/// Serialize an embedding.
+pub fn write_embedding(emb: &Embedding, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "{}", MAGIC)?;
+    writeln!(w, "guest_nodes {}", emb.guest_nodes())?;
+    writeln!(w, "host_dim {}", emb.host().dim())?;
+    write!(w, "map")?;
+    for &a in emb.map() {
+        write!(w, " {}", a)?;
+    }
+    writeln!(w)?;
+    write!(w, "edges")?;
+    for &(u, v) in emb.guest_edges() {
+        write!(w, " {} {}", u, v)?;
+    }
+    writeln!(w)?;
+    for r in emb.routes().iter() {
+        write!(w, "route")?;
+        for &a in r {
+            write!(w, " {}", a)?;
+        }
+        writeln!(w)?;
+    }
+    writeln!(w, "end")
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Deserialize an embedding written by [`write_embedding`].
+///
+/// Structural parsing only; call [`Embedding::verify`] afterwards if the
+/// source is untrusted.
+pub fn read_embedding(r: &mut impl BufRead) -> io::Result<Embedding> {
+    let mut lines = r.lines();
+    let mut next_line = || -> io::Result<String> {
+        lines
+            .next()
+            .ok_or_else(|| bad("unexpected end of file"))?
+            .map_err(io::Error::from)
+    };
+
+    if next_line()?.trim() != MAGIC {
+        return Err(bad("not a cubemesh-embedding v1 file"));
+    }
+    let nodes_line = next_line()?;
+    let guest_nodes: usize = nodes_line
+        .strip_prefix("guest_nodes ")
+        .ok_or_else(|| bad("missing guest_nodes"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad guest_nodes"))?;
+    let dim_line = next_line()?;
+    let host_dim: u32 = dim_line
+        .strip_prefix("host_dim ")
+        .ok_or_else(|| bad("missing host_dim"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad host_dim"))?;
+
+    let map_line = next_line()?;
+    let map: Vec<u64> = map_line
+        .strip_prefix("map")
+        .ok_or_else(|| bad("missing map"))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad map entry")))
+        .collect::<io::Result<_>>()?;
+    if map.len() != guest_nodes {
+        return Err(bad("map length mismatch"));
+    }
+
+    let edges_line = next_line()?;
+    let flat: Vec<u32> = edges_line
+        .strip_prefix("edges")
+        .ok_or_else(|| bad("missing edges"))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad edge entry")))
+        .collect::<io::Result<_>>()?;
+    if flat.len() % 2 != 0 {
+        return Err(bad("odd edge list"));
+    }
+    let edges: Vec<(u32, u32)> =
+        flat.chunks(2).map(|c| (c[0], c[1])).collect();
+
+    let mut routes = RouteSet::with_capacity(edges.len(), edges.len() * 2);
+    loop {
+        let line = next_line()?;
+        let line = line.trim();
+        if line == "end" {
+            break;
+        }
+        let body = line.strip_prefix("route").ok_or_else(|| bad("expected route"))?;
+        let path: Vec<u64> = body
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| bad("bad route entry")))
+            .collect::<io::Result<_>>()?;
+        if path.is_empty() {
+            return Err(bad("empty route"));
+        }
+        routes.push(&path);
+    }
+    if routes.len() != edges.len() {
+        return Err(bad("route count mismatch"));
+    }
+    Ok(Embedding::new(
+        guest_nodes,
+        edges,
+        Hypercube::new(host_dim),
+        map,
+        routes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::gray_mesh_embedding;
+    use cubemesh_topology::Shape;
+
+    #[test]
+    fn roundtrip() {
+        let emb = gray_mesh_embedding(&Shape::new(&[3, 5]));
+        let mut buf = Vec::new();
+        write_embedding(&emb, &mut buf).unwrap();
+        let back = read_embedding(&mut buf.as_slice()).unwrap();
+        back.verify().unwrap();
+        assert_eq!(back.map(), emb.map());
+        assert_eq!(back.guest_edges(), emb.guest_edges());
+        assert_eq!(back.host().dim(), emb.host().dim());
+        assert_eq!(back.metrics(), emb.metrics());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_embedding(&mut "nope".as_bytes()).is_err());
+        let mut buf = Vec::new();
+        write_embedding(&gray_mesh_embedding(&Shape::new(&[2, 2])), &mut buf)
+            .unwrap();
+        // Truncate: drop the trailing "end".
+        let txt = String::from_utf8(buf).unwrap();
+        let cut = txt.rsplit_once("end").unwrap().0;
+        assert!(read_embedding(&mut cut.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatches() {
+        let bad_input = "cubemesh-embedding v1\nguest_nodes 3\nhost_dim 2\nmap 0 1\nedges\nend\n";
+        assert!(read_embedding(&mut bad_input.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Flattened storage for edge routes.
+//!
+//! A route is the host-cube path assigned to one guest edge, stored as the
+//! full node sequence *including both endpoints* (so a dilation-`d` route
+//! has `d + 1` nodes and a dilation-1 route has 2). Routes for millions of
+//! edges are kept in one arena (`nodes`) with an offsets table, avoiding a
+//! heap allocation per edge — the pattern recommended for hot containers in
+//! the workspace performance guide.
+
+/// An arena of routes, indexed densely by guest-edge number.
+#[derive(Clone, Debug, Default)]
+pub struct RouteSet {
+    offsets: Vec<u32>,
+    nodes: Vec<u64>,
+}
+
+impl RouteSet {
+    /// An empty route set.
+    pub fn new() -> Self {
+        RouteSet { offsets: vec![0], nodes: Vec::new() }
+    }
+
+    /// Pre-allocate for `edges` routes totalling about `total_nodes` path
+    /// nodes.
+    pub fn with_capacity(edges: usize, total_nodes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(edges + 1);
+        offsets.push(0);
+        RouteSet { offsets, nodes: Vec::with_capacity(total_nodes) }
+    }
+
+    /// Append a route (full node path, endpoints included). Returns its
+    /// index.
+    ///
+    /// # Panics
+    /// Panics if the path has fewer than 1 node (a route for a self-loop of
+    /// length 0 is not a thing — guest graphs have no self-loops).
+    pub fn push(&mut self, path: &[u64]) -> usize {
+        assert!(!path.is_empty(), "empty route");
+        self.nodes.extend_from_slice(path);
+        self.offsets.push(self.nodes.len() as u32);
+        self.offsets.len() - 2
+    }
+
+    /// Append a route given as an iterator.
+    pub fn push_iter(&mut self, path: impl IntoIterator<Item = u64>) -> usize {
+        let before = self.nodes.len();
+        self.nodes.extend(path);
+        assert!(self.nodes.len() > before, "empty route");
+        self.offsets.push(self.nodes.len() as u32);
+        self.offsets.len() - 2
+    }
+
+    /// Number of routes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` if no routes stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node path of route `i` (endpoints included).
+    #[inline]
+    pub fn route(&self, i: usize) -> &[u64] {
+        &self.nodes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Dilation of route `i`: number of host edges on the path.
+    #[inline]
+    pub fn dilation(&self, i: usize) -> u32 {
+        self.offsets[i + 1] - self.offsets[i] - 1
+    }
+
+    /// Total number of host-edge traversals over all routes (the numerator
+    /// of both average dilation and average congestion).
+    #[inline]
+    pub fn total_length(&self) -> u64 {
+        (self.nodes.len() - self.len()) as u64
+    }
+
+    /// Iterate over all routes.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        (0..self.len()).map(move |i| self.route(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut rs = RouteSet::new();
+        assert!(rs.is_empty());
+        let a = rs.push(&[0, 1]);
+        let b = rs.push(&[3, 2, 6]);
+        let c = rs.push_iter([5u64]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.route(0), &[0, 1]);
+        assert_eq!(rs.route(1), &[3, 2, 6]);
+        assert_eq!(rs.route(2), &[5]);
+        assert_eq!(rs.dilation(0), 1);
+        assert_eq!(rs.dilation(1), 2);
+        assert_eq!(rs.dilation(2), 0);
+        assert_eq!(rs.total_length(), 3);
+    }
+
+    #[test]
+    fn iter_matches_indexing() {
+        let mut rs = RouteSet::with_capacity(2, 5);
+        rs.push(&[1, 0]);
+        rs.push(&[2, 3, 7]);
+        let collected: Vec<Vec<u64>> = rs.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(collected, vec![vec![1, 0], vec![2, 3, 7]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_route_rejected() {
+        RouteSet::new().push(&[]);
+    }
+}

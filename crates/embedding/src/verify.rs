@@ -1,0 +1,209 @@
+//! Semantic validation of embeddings.
+//!
+//! Every construction in the workspace — Gray codes, product embeddings,
+//! search results, torus constructions — is checked through this module in
+//! tests, so a bug in any builder surfaces as a precise [`VerifyError`].
+
+use crate::map::Embedding;
+use cubemesh_topology::hamming;
+use std::fmt;
+
+/// Why an embedding failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A mapped address does not fit in the host cube.
+    AddressOutOfRange { node: usize, address: u64 },
+    /// Two guest nodes share a host address (the map is not one-to-one).
+    NotInjective { node_a: usize, node_b: usize, address: u64 },
+    /// A guest edge index is out of range.
+    EdgeOutOfRange { edge: usize },
+    /// A route does not start at the image of its edge's first endpoint.
+    RouteStartMismatch { edge: usize, expected: u64, found: u64 },
+    /// A route does not end at the image of its edge's second endpoint.
+    RouteEndMismatch { edge: usize, expected: u64, found: u64 },
+    /// Two consecutive route nodes are not cube neighbors.
+    RouteStepNotAdjacent { edge: usize, step: usize, from: u64, to: u64 },
+    /// A route visits the same cube node twice (routes must be simple
+    /// paths; Definition 2 measures dilation as the path length, which is
+    /// only meaningful for simple paths).
+    RouteNotSimple { edge: usize, address: u64 },
+    /// A route leaves the host cube.
+    RouteOutOfRange { edge: usize, address: u64 },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::AddressOutOfRange { node, address } => {
+                write!(f, "node {node} maps to {address:#x}, outside the host cube")
+            }
+            VerifyError::NotInjective { node_a, node_b, address } => write!(
+                f,
+                "nodes {node_a} and {node_b} both map to {address:#x}"
+            ),
+            VerifyError::EdgeOutOfRange { edge } => {
+                write!(f, "edge {edge} references a node out of range")
+            }
+            VerifyError::RouteStartMismatch { edge, expected, found } => write!(
+                f,
+                "route {edge} starts at {found:#x}, expected {expected:#x}"
+            ),
+            VerifyError::RouteEndMismatch { edge, expected, found } => write!(
+                f,
+                "route {edge} ends at {found:#x}, expected {expected:#x}"
+            ),
+            VerifyError::RouteStepNotAdjacent { edge, step, from, to } => write!(
+                f,
+                "route {edge} step {step}: {from:#x} -> {to:#x} is not a cube edge"
+            ),
+            VerifyError::RouteNotSimple { edge, address } => {
+                write!(f, "route {edge} revisits {address:#x}")
+            }
+            VerifyError::RouteOutOfRange { edge, address } => {
+                write!(f, "route {edge} leaves the cube at {address:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Validate an embedding end to end. See [`VerifyError`] for the checks.
+pub fn verify_embedding(e: &Embedding) -> Result<(), VerifyError> {
+    // Injectivity, by sorting (address, node) pairs.
+    let mut pairs: Vec<(u64, usize)> =
+        e.map().iter().enumerate().map(|(v, &a)| (a, v)).collect();
+    pairs.sort_unstable();
+    for w in pairs.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(VerifyError::NotInjective {
+                node_a: w[0].1,
+                node_b: w[1].1,
+                address: w[0].0,
+            });
+        }
+    }
+    verify_many_to_one(e)
+}
+
+/// The non-injective validation used for §7's many-to-one embeddings:
+/// address ranges and route well-formedness only. A route for an edge
+/// whose endpoints share an address is the single-node path.
+pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
+    let host = e.host();
+    // Address ranges.
+    for (node, &addr) in e.map().iter().enumerate() {
+        if !host.contains(addr) {
+            return Err(VerifyError::AddressOutOfRange { node, address: addr });
+        }
+    }
+    // Routes.
+    for (i, &(u, v)) in e.guest_edges().iter().enumerate() {
+        if u as usize >= e.guest_nodes() || v as usize >= e.guest_nodes() {
+            return Err(VerifyError::EdgeOutOfRange { edge: i });
+        }
+        let route = e.routes().route(i);
+        let start = e.image(u as usize);
+        let end = e.image(v as usize);
+        if route[0] != start {
+            return Err(VerifyError::RouteStartMismatch {
+                edge: i,
+                expected: start,
+                found: route[0],
+            });
+        }
+        let last = *route.last().expect("routes are non-empty");
+        if last != end {
+            return Err(VerifyError::RouteEndMismatch {
+                edge: i,
+                expected: end,
+                found: last,
+            });
+        }
+        let mut seen = Vec::with_capacity(route.len());
+        for (step, w) in route.windows(2).enumerate() {
+            if hamming(w[0], w[1]) != 1 {
+                return Err(VerifyError::RouteStepNotAdjacent {
+                    edge: i,
+                    step,
+                    from: w[0],
+                    to: w[1],
+                });
+            }
+        }
+        for &addr in route {
+            if !host.contains(addr) {
+                return Err(VerifyError::RouteOutOfRange { edge: i, address: addr });
+            }
+            if seen.contains(&addr) {
+                return Err(VerifyError::RouteNotSimple { edge: i, address: addr });
+            }
+            seen.push(addr);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteSet;
+    use cubemesh_topology::Hypercube;
+
+    fn build(map: Vec<u64>, edges: Vec<(u32, u32)>, routes: Vec<Vec<u64>>) -> Embedding {
+        let mut rs = RouteSet::new();
+        for r in &routes {
+            rs.push(r);
+        }
+        Embedding::new(map.len(), edges, Hypercube::new(3), map, rs)
+    }
+
+    #[test]
+    fn good_embedding_passes() {
+        let e = build(
+            vec![0b000, 0b001, 0b011],
+            vec![(0, 1), (0, 2)],
+            vec![vec![0b000, 0b001], vec![0b000, 0b010, 0b011]],
+        );
+        assert!(e.verify().is_ok());
+    }
+
+    #[test]
+    fn detects_non_injective() {
+        let e = build(vec![1, 1], vec![], vec![]);
+        assert!(matches!(e.verify(), Err(VerifyError::NotInjective { .. })));
+    }
+
+    #[test]
+    fn detects_out_of_range_address() {
+        let e = build(vec![0, 9], vec![], vec![]);
+        assert!(matches!(e.verify(), Err(VerifyError::AddressOutOfRange { node: 1, .. })));
+    }
+
+    #[test]
+    fn detects_route_endpoint_mismatch() {
+        let e = build(vec![0, 1], vec![(0, 1)], vec![vec![0, 2]]);
+        assert!(matches!(e.verify(), Err(VerifyError::RouteEndMismatch { .. })));
+        let e = build(vec![0, 1], vec![(0, 1)], vec![vec![2, 1]]);
+        assert!(matches!(e.verify(), Err(VerifyError::RouteStartMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_non_adjacent_step() {
+        let e = build(vec![0, 3], vec![(0, 1)], vec![vec![0, 3]]);
+        assert!(matches!(
+            e.verify(),
+            Err(VerifyError::RouteStepNotAdjacent { step: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_non_simple_route() {
+        let e = build(
+            vec![0, 1],
+            vec![(0, 1)],
+            vec![vec![0, 2, 0, 1]],
+        );
+        assert!(matches!(e.verify(), Err(VerifyError::RouteNotSimple { .. })));
+    }
+}

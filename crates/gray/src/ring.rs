@@ -1,0 +1,87 @@
+//! Dilation-one codes for even rings.
+//!
+//! A cycle of even length `ℓ` embeds in `Q_{⌈log₂ ℓ⌉}` with dilation one:
+//! walk the first `ℓ/2` positions through the binary-reflected code of the
+//! low `n−1` bits, then walk back with the top bit set. Odd cycles cannot
+//! embed with dilation one (hypercubes are bipartite); the wraparound
+//! machinery of §6 handles them with an extra dilation unit instead.
+
+use crate::code::gray;
+use cubemesh_topology::cube_dim;
+
+/// Address of ring position `p` (`0 ≤ p < len`) in the minimal cube for an
+/// even ring of length `len`, such that consecutive positions — including
+/// the wraparound pair `(len−1, 0)` — differ in exactly one bit.
+///
+/// For `len = 2ⁿ` this coincides with the cyclic Gray code `G(p)` up to the
+/// choice of closing edge; for shorter even rings it uses the out-and-back
+/// construction of Johnsson \[15].
+///
+/// # Panics
+/// Panics if `len` is odd (and `len > 1`), or `len == 0`.
+pub fn even_ring_code(p: usize, len: usize) -> u64 {
+    assert!(len > 0, "empty ring");
+    if len == 1 {
+        assert_eq!(p, 0);
+        return 0;
+    }
+    assert!(len.is_multiple_of(2), "dilation-one ring codes exist only for even lengths");
+    assert!(p < len);
+    let half = (len / 2) as u64;
+    let n = cube_dim(len as u64);
+    if (p as u64) < half {
+        gray(p as u64)
+    } else {
+        gray(len as u64 - 1 - p as u64) | (1u64 << (n - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemesh_topology::{cube_dim, hamming};
+
+    #[test]
+    fn ring_codes_are_adjacent_and_injective() {
+        for len in (2..=64usize).step_by(2) {
+            let n = cube_dim(len as u64);
+            let mut seen = std::collections::HashSet::new();
+            for p in 0..len {
+                let a = even_ring_code(p, len);
+                let b = even_ring_code((p + 1) % len, len);
+                assert!(a < (1u64 << n), "address within minimal cube");
+                assert_eq!(
+                    hamming(a, b),
+                    1,
+                    "ring {} positions {}/{} not adjacent",
+                    len,
+                    p,
+                    (p + 1) % len
+                );
+                assert!(seen.insert(a), "duplicate address in ring {}", len);
+            }
+        }
+    }
+
+    #[test]
+    fn full_power_of_two_ring_uses_whole_cube() {
+        let len = 16usize;
+        let mut seen: Vec<u64> = (0..len).map(|p| even_ring_code(p, len)).collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..16).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_ring_rejected() {
+        let _ = even_ring_code(0, 5);
+    }
+
+    #[test]
+    fn trivial_rings() {
+        assert_eq!(even_ring_code(0, 1), 0);
+        assert_eq!(even_ring_code(0, 2), 0);
+        assert_eq!(even_ring_code(1, 2), 1);
+    }
+}

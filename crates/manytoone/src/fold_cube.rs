@@ -1,0 +1,169 @@
+//! Cube folding and the Corollary 5 search.
+
+use crate::contract::contract;
+use cubemesh_core::restrict;
+use cubemesh_embedding::{gray_mesh_embedding, Embedding, RouteSet};
+use cubemesh_topology::{ceil_pow2, cube_dim, Hypercube, Shape};
+
+/// Fold an embedding into a smaller cube by dropping the high `n' − n`
+/// address bits (identifying antipodal subcubes). Load multiplies by
+/// `2^{n'−n}`; dilation never grows (steps over dropped dimensions
+/// collapse); routes are de-looped to stay simple paths.
+pub fn fold_to_dim(emb: &Embedding, n: u32) -> Embedding {
+    let n_big = emb.host().dim();
+    assert!(n <= n_big, "fold target larger than the host");
+    if n == n_big {
+        return emb.clone();
+    }
+    let mask = (1u64 << n) - 1;
+    let map: Vec<u64> = emb.map().iter().map(|&a| a & mask).collect();
+    let mut routes = RouteSet::with_capacity(
+        emb.guest_edges().len(),
+        emb.routes().total_length() as usize + emb.guest_edges().len(),
+    );
+    let mut folded: Vec<u64> = Vec::new();
+    for r in emb.routes().iter() {
+        folded.clear();
+        for &a in r {
+            let m = a & mask;
+            // Drop consecutive duplicates; cut loops if the fold ever
+            // revisits a node (possible only for non-shortest routes).
+            if let Some(pos) = folded.iter().position(|&x| x == m) {
+                folded.truncate(pos + 1);
+            } else {
+                folded.push(m);
+            }
+        }
+        routes.push(&folded);
+    }
+    Embedding::new(
+        emb.guest_nodes(),
+        emb.guest_edges().to_vec(),
+        Hypercube::new(n),
+        map,
+        routes,
+    )
+}
+
+/// Corollary 5: embed `shape` into an `n`-cube with dilation one and
+/// load-factor optimal within a factor of two, by covering each axis with
+/// `ℓ′ᵢ·2^{nᵢ} ≥ ℓᵢ` such that `⌈Πℓᵢ⌉₂ = ⌈Πℓ′ᵢ2^{nᵢ}⌉₂` and
+/// `Σnᵢ ≥ n`, then Gray + contract + restrict + fold.
+///
+/// Returns the embedding with the smallest achieved load-factor, or
+/// `None` when no cover satisfies the corollary's conditions.
+pub fn corollary5(shape: &Shape, n: u32) -> Option<Embedding> {
+    let k = shape.rank();
+    let target = ceil_pow2(shape.nodes() as u64);
+
+    // Enumerate per-axis (nᵢ, ℓ′ᵢ = ⌈ℓᵢ/2^{nᵢ}⌉) choices.
+    let mut best: Option<(u64, Vec<u32>, Vec<usize>)> = None;
+    let mut stack: Vec<(usize, Vec<u32>)> = vec![(0, Vec::new())];
+    while let Some((axis, chosen)) = stack.pop() {
+        if axis == k {
+            let total_n: u32 = chosen.iter().sum();
+            if total_n < n {
+                continue;
+            }
+            let lprime: Vec<usize> = (0..k)
+                .map(|i| shape.len(i).div_ceil(1usize << chosen[i]))
+                .collect();
+            let covered: u64 = (0..k)
+                .map(|i| (lprime[i] as u64) << chosen[i])
+                .product();
+            if ceil_pow2(covered) != target {
+                continue;
+            }
+            let load: u64 = lprime.iter().map(|&f| f as u64).product::<u64>()
+                << (total_n - n);
+            if best.as_ref().map(|(b, ..)| load < *b).unwrap_or(true) {
+                best = Some((load, chosen, lprime));
+            }
+            continue;
+        }
+        for ni in 0..=cube_dim(shape.len(axis) as u64) {
+            let mut next = chosen.clone();
+            next.push(ni);
+            stack.push((axis + 1, next));
+        }
+    }
+
+    let (_, ns, lprime) = best?;
+    let base_shape = Shape::new(
+        &ns.iter().map(|&ni| 1usize << ni).collect::<Vec<_>>(),
+    );
+    let base = gray_mesh_embedding(&base_shape);
+    let contracted = contract(&base_shape, &base, &lprime);
+    let big_shape = base_shape.product(&Shape::new(&lprime));
+    let restricted = restrict(&contracted, &big_shape, shape);
+    Some(fold_to_dim(&restricted, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemesh_embedding::{load_factor, verify_many_to_one};
+
+    #[test]
+    fn paper_19x19_example() {
+        // §7: 19x19 into (up to) Q5 with dilation one; load 15 vs optimal
+        // 12 — because 19x19 ⊆ 24x20 = (3·2³)x(5·2²).
+        let shape = Shape::new(&[19, 19]);
+        let emb = corollary5(&shape, 5).expect("19x19 cover");
+        verify_many_to_one(&emb).unwrap();
+        assert_eq!(emb.host().dim(), 5);
+        let m = emb.metrics();
+        assert_eq!(m.dilation, 1);
+        let lf = load_factor(emb.map(), emb.host());
+        assert_eq!(lf, 15, "paper's load-factor");
+        let optimal = (19u64 * 19).div_ceil(32);
+        assert_eq!(optimal, 12, "paper's optimal");
+        assert!(lf as u64 <= 2 * optimal);
+    }
+
+    #[test]
+    fn fold_halves_cube_and_doubles_load() {
+        let shape = Shape::new(&[4, 8]);
+        let emb = gray_mesh_embedding(&shape);
+        let folded = fold_to_dim(&emb, 4);
+        verify_many_to_one(&folded).unwrap();
+        assert_eq!(folded.host().dim(), 4);
+        assert_eq!(load_factor(folded.map(), folded.host()), 2);
+        assert!(folded.metrics().dilation <= 1);
+    }
+
+    #[test]
+    fn fold_to_same_dim_is_identity() {
+        let shape = Shape::new(&[3, 5]);
+        let emb = gray_mesh_embedding(&shape);
+        let folded = fold_to_dim(&emb, emb.host().dim());
+        assert_eq!(folded.map(), emb.map());
+    }
+
+    #[test]
+    fn corollary5_load_within_twice_optimal() {
+        for (dims, n) in [
+            (vec![19usize, 19], 5u32),
+            (vec![7, 7], 4),
+            (vec![13, 9], 5),
+            (vec![5, 5, 5], 5),
+        ] {
+            let shape = Shape::new(&dims);
+            if let Some(emb) = corollary5(&shape, n) {
+                verify_many_to_one(&emb).unwrap();
+                let m = emb.metrics();
+                assert_eq!(m.dilation, 1, "{:?}", dims);
+                let lf = load_factor(emb.map(), emb.host()) as u64;
+                let optimal =
+                    (shape.nodes() as u64).div_ceil(1u64 << n);
+                assert!(
+                    lf <= 2 * optimal,
+                    "{:?}: load {} > 2x optimal {}",
+                    dims,
+                    lf,
+                    optimal
+                );
+            }
+        }
+    }
+}

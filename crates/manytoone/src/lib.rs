@@ -1,0 +1,28 @@
+//! Many-to-one mesh embeddings — §7 of the paper.
+//!
+//! When the mesh has more nodes than the cube, utilization is measured by
+//! the **load-factor** (Definition 5): the largest number of mesh nodes
+//! mapped onto one processor. The paper's results transfer through the
+//! product machinery:
+//!
+//! * **Theorem 4** — load-factors multiply under graph product while
+//!   dilation takes the max and congestion scales by the co-factor's
+//!   load; this falls out of [`cubemesh_core::product_embedding`], which
+//!   never needed injectivity.
+//! * **Lemma 5 / Corollary 4** — [`contract`]: blow an `ℓᵢ` mesh up to an
+//!   `ℓᵢ·ℓ′ᵢ` mesh by mapping blocks of `ℓ′ᵢ` consecutive coordinates to
+//!   one node; dilation is unchanged, load multiplies by `Πℓ′ᵢ`, and the
+//!   congestion of axis-`i` host edges scales by `Πⱼ≠ᵢ ℓ′ⱼ`.
+//! * **Corollary 5** — [`fold_to_dim`] plus a Gray base: any mesh on any
+//!   smaller cube with dilation one and load-factor within 2× of optimal
+//!   when a suitable `ℓ′ᵢ·2^{nᵢ} ≥ ℓᵢ` cover exists ([`corollary5`]
+//!   searches for one).
+//!
+//! The paper's `19×19 → Q₅` example (load 15 vs optimal 12) is
+//! reproduced in the tests and the `figures` binary.
+
+pub mod contract;
+pub mod fold_cube;
+
+pub use contract::{contract, optimal_load_factor};
+pub use fold_cube::{corollary5, fold_to_dim};

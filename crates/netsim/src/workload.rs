@@ -1,0 +1,182 @@
+//! Traffic generators over embedded meshes.
+
+use crate::sim::Message;
+use cubemesh_embedding::Embedding;
+
+/// One halo-exchange step: every guest edge carries a message in *both*
+/// directions simultaneously, each following the embedding's route (the
+/// reverse direction uses the reversed route). This is the communication
+/// pattern of one Jacobi/stencil iteration on the mesh.
+pub fn stencil_exchange(emb: &Embedding, flits: u32) -> Vec<Message> {
+    let mut msgs = Vec::with_capacity(emb.guest_edges().len() * 2);
+    for i in 0..emb.guest_edges().len() {
+        let route = emb.routes().route(i);
+        msgs.push(Message::new(route.to_vec(), flits));
+        msgs.push(Message::new(route.iter().rev().copied().collect(), flits));
+    }
+    msgs
+}
+
+/// A circular-shift step along one mesh axis (the CSHIFT of data-parallel
+/// linear algebra): every edge of `axis` carries one message in the
+/// positive direction. Requires the canonical mesh edge order used by all
+/// builders, plus the shape to identify axes.
+pub fn axis_shift(
+    emb: &Embedding,
+    shape: &cubemesh_topology::Shape,
+    axis: usize,
+    flits: u32,
+) -> Vec<Message> {
+    let mesh = cubemesh_topology::Mesh::new(shape.clone());
+    let mut msgs = Vec::new();
+    for (i, e) in mesh.edges().enumerate() {
+        if e.axis == axis {
+            msgs.push(Message::new(emb.routes().route(i).to_vec(), flits));
+        }
+    }
+    msgs
+}
+
+/// One shift along every axis in sequence-free superposition (the
+/// communication of a SUMMA-like algorithm's skew step): all positive-
+/// direction edges of every axis at once.
+pub fn all_axis_shifts(
+    emb: &Embedding,
+    shape: &cubemesh_topology::Shape,
+    flits: u32,
+) -> Vec<Message> {
+    (0..shape.rank())
+        .flat_map(|axis| axis_shift(emb, shape, axis, flits))
+        .collect()
+}
+
+/// Matrix-transpose traffic for a 2-D mesh: node `(i, j)` sends to
+/// `(j, i)`, routed e-cube between the mapped addresses. Exercises paths
+/// the embedding did not optimize for — a stress counterpart to the
+/// nearest-neighbor workloads.
+pub fn transpose(
+    emb: &Embedding,
+    shape: &cubemesh_topology::Shape,
+    flits: u32,
+) -> Vec<Message> {
+    assert_eq!(shape.rank(), 2, "transpose is a 2-D workload");
+    let mut msgs = Vec::new();
+    for c in shape.iter_coords() {
+        let (i, j) = (c[0], c[1]);
+        if i == j || j >= shape.len(0) || i >= shape.len(1) {
+            continue;
+        }
+        let src = emb.image(shape.index(&[i, j]));
+        let dst = emb.image(shape.index(&[j, i]));
+        msgs.push(Message::new(crate::routing::ecube_path(src, dst), flits));
+    }
+    msgs
+}
+
+/// A random permutation workload over the guest nodes (e-cube routed) —
+/// the classical average-case stress pattern.
+pub fn random_permutation(emb: &Embedding, flits: u32, seed: u64) -> Vec<Message> {
+    // Fisher–Yates with a splitmix generator to stay dependency-free.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let n = emb.guest_nodes();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    (0..n)
+        .filter(|&v| perm[v] != v)
+        .map(|v| {
+            Message::new(
+                crate::routing::ecube_path(emb.image(v), emb.image(perm[v])),
+                flits,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, simulate_with, Switching};
+    use cubemesh_embedding::gray_mesh_embedding;
+    use cubemesh_topology::Shape;
+
+    #[test]
+    fn gray_stencil_finishes_in_one_message_time() {
+        // Dilation 1, congestion 1, full duplex: makespan = flit count.
+        let shape = Shape::new(&[4, 8]);
+        let emb = gray_mesh_embedding(&shape);
+        let msgs = stencil_exchange(&emb, 32);
+        let r = simulate(emb.host(), &msgs);
+        assert_eq!(r.makespan, 32);
+        assert_eq!(r.delivered, msgs.len());
+    }
+
+    #[test]
+    fn axis_shift_counts_edges() {
+        let shape = Shape::new(&[3, 5]);
+        let emb = gray_mesh_embedding(&shape);
+        assert_eq!(axis_shift(&emb, &shape, 0, 8).len(), 2 * 5);
+        assert_eq!(axis_shift(&emb, &shape, 1, 8).len(), 3 * 4);
+    }
+
+    #[test]
+    fn cut_through_beats_store_and_forward_on_long_paths() {
+        // A single 4-hop message: SF pays 4·size, CT pays ~4 + size.
+        let shape = Shape::new(&[16]);
+        let emb = gray_mesh_embedding(&shape);
+        let host = emb.host();
+        let path = crate::routing::ecube_path(0b0000, 0b1111);
+        let msg = vec![Message::new(path, 32)];
+        let sf = simulate_with(host, &msg, Switching::StoreAndForward);
+        let ct = simulate_with(host, &msg, Switching::CutThrough);
+        assert_eq!(sf.makespan, 4 * 32);
+        assert!(ct.makespan <= 32 + 4, "cut-through {}", ct.makespan);
+        assert!(ct.makespan >= 32);
+    }
+
+    #[test]
+    fn transpose_and_permutation_workloads_complete() {
+        let shape = Shape::new(&[8, 8]);
+        let emb = gray_mesh_embedding(&shape);
+        let t = transpose(&emb, &shape, 8);
+        assert_eq!(t.len(), 8 * 8 - 8); // diagonal stays put
+        let r = simulate(emb.host(), &t);
+        assert_eq!(r.delivered, t.len());
+
+        let p = random_permutation(&emb, 8, 42);
+        let r = simulate(emb.host(), &p);
+        assert_eq!(r.delivered, p.len());
+        assert!(r.makespan >= 8);
+    }
+
+    #[test]
+    fn all_axis_shifts_counts() {
+        let shape = Shape::new(&[3, 4, 5]);
+        let emb = gray_mesh_embedding(&shape);
+        let msgs = all_axis_shifts(&emb, &shape, 4);
+        assert_eq!(msgs.len(), shape.mesh_edges());
+    }
+
+    #[test]
+    fn dilation_two_embedding_costs_about_double() {
+        let shape = Shape::new(&[3, 5]);
+        let emb = cubemesh_search::catalog_embedding(&shape).unwrap();
+        let msgs = stencil_exchange(&emb, 32);
+        let r = simulate(emb.host(), &msgs);
+        assert!(r.makespan >= 33, "dilated edges must be slower than 32");
+        assert!(
+            r.makespan <= 4 * 32,
+            "dilation/congestion 2 should stay near 2x: {}",
+            r.makespan
+        );
+    }
+}

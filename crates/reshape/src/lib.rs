@@ -1,0 +1,23 @@
+//! Reshaping baselines from §3.2 of the paper.
+//!
+//! Before graph decomposition, the known routes to minimal expansion were
+//! *reshaping* techniques: embed the mesh into a power-of-two-sided mesh of
+//! the same total cube size, then Gray-code the result. This crate provides
+//! the two baseline families the evaluation compares against:
+//!
+//! * [`snake`] — boustrophedon linearization into the minimal cube:
+//!   minimal expansion always, dilation 1 along the snake but *unbounded*
+//!   dilation across it (the naive end of the trade-off space);
+//! * [`fold`] — folding \[19]: one fold halves an axis and doubles another
+//!   at dilation 2; useful when the folded shape Gray-codes well, and the
+//!   classical dilation-2 baseline where it applies.
+//!
+//! The paper's best-in-class 2-D technique (Chan's modified line
+//! compression \[4], dilation 2 for *every* 2-D mesh) is substituted by the
+//! direct-embedding catalog plus decomposition — see DESIGN.md.
+
+pub mod fold;
+pub mod snake;
+
+pub use fold::{fold_embedding, fold_map};
+pub use snake::{snake_embedding, snake_position};

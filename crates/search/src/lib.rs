@@ -1,0 +1,32 @@
+//! Direct-embedding discovery for small meshes.
+//!
+//! The paper's method relies on a handful of *direct embeddings* — hand-
+//! constructed dilation-2 minimal-expansion embeddings of small meshes
+//! (`3×5`, `7×9`, `11×11` from \[14], `3×3×3`, `3×3×7` from \[13]) — which it
+//! then multiplies up with the graph-decomposition technique. The cited
+//! tables are not reproduced in the paper, so this crate *rediscovers* them
+//! mechanically:
+//!
+//! * [`backtrack`] — exact depth-first search with hypercube symmetry
+//!   breaking (translation fixed by pinning the first node to address 0,
+//!   bit permutations killed by a canonical first-use-order rule on bit
+//!   positions) and frontier feasibility pruning;
+//! * [`anneal`] — simulated annealing over injective maps, for sizes where
+//!   exact search is too slow, and for *negative* probes such as the
+//!   paper's open `5×5×5` case;
+//! * [`catalog`] — the verified result tables, baked into the source and
+//!   re-checked by tests (shape, injectivity, dilation ≤ 2, congestion ≤ 2,
+//!   minimal cube).
+//!
+//! Discovery runs offline via the `discover` binary; the library only ships
+//! the verified catalog plus the engines.
+
+pub mod anneal;
+pub mod backtrack;
+pub mod catalog;
+pub mod routes;
+
+pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
+pub use backtrack::{find_embedding, SearchConfig, SearchOutcome};
+pub use catalog::{catalog_embedding, catalog_entries, catalog_lookup, catalog_map, CatalogEntry};
+pub use routes::assign_bounded_congestion;

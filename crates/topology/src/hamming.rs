@@ -1,0 +1,190 @@
+//! Bit-level utilities shared by every crate in the workspace.
+//!
+//! The paper's notation `⌈x⌉₂ = 2^{⌈log₂ x⌉}` appears in every expansion
+//! argument; [`ceil_pow2`] and [`cube_dim`] implement it exactly for `u64`
+//! inputs (node counts up to `2^63`).
+
+/// Hamming distance between two cube addresses.
+///
+/// This is exactly the graph distance between the two nodes in any
+/// hypercube large enough to contain both addresses.
+///
+/// ```
+/// use cubemesh_topology::hamming;
+/// assert_eq!(hamming(0b1010, 0b0011), 2);
+/// assert_eq!(hamming(7, 7), 0);
+/// ```
+#[inline]
+pub fn hamming(x: u64, y: u64) -> u32 {
+    (x ^ y).count_ones()
+}
+
+/// Is `x` a power of two? (`0` is not.)
+#[inline]
+pub fn is_pow2(x: u64) -> bool {
+    x != 0 && x & (x - 1) == 0
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`: the dimension of the minimal Boolean cube with at
+/// least `x` nodes.
+///
+/// This is the quantity the paper writes as `⌈log₂ ℓ⌉`; the minimal cube for
+/// an `ℓ₁ × ⋯ × ℓ_k` mesh has `cube_dim(ℓ₁⋯ℓ_k)` dimensions.
+///
+/// # Panics
+/// Panics if `x == 0` (a mesh axis or node count is never zero).
+///
+/// ```
+/// use cubemesh_topology::cube_dim;
+/// assert_eq!(cube_dim(1), 0);
+/// assert_eq!(cube_dim(2), 1);
+/// assert_eq!(cube_dim(3), 2);
+/// assert_eq!(cube_dim(512), 9);
+/// assert_eq!(cube_dim(513), 10);
+/// ```
+#[inline]
+pub fn cube_dim(x: u64) -> u32 {
+    assert!(x > 0, "cube_dim(0) is undefined");
+    64 - (x - 1).leading_zeros()
+}
+
+/// `⌈x⌉₂ = 2^{⌈log₂ x⌉}`: the smallest power of two `≥ x`, the paper's
+/// bracket-2 notation.
+///
+/// # Panics
+/// Panics if `x == 0` or if the result would overflow `u64`.
+///
+/// ```
+/// use cubemesh_topology::ceil_pow2;
+/// assert_eq!(ceil_pow2(1), 1);
+/// assert_eq!(ceil_pow2(27), 32);
+/// assert_eq!(ceil_pow2(64), 64);
+/// ```
+#[inline]
+pub fn ceil_pow2(x: u64) -> u64 {
+    let d = cube_dim(x);
+    assert!(d < 64, "ceil_pow2 overflow");
+    1u64 << d
+}
+
+/// Iterator over the set bit positions of `x`, least significant first.
+///
+/// Used when decomposing a Hamming path into single-bit steps.
+pub fn bit_positions(x: u64) -> impl Iterator<Item = u32> {
+    BitPositions(x)
+}
+
+struct BitPositions(u64);
+
+impl Iterator for BitPositions {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let b = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(b)
+        }
+    }
+}
+
+impl ExactSizeIterator for BitPositions {
+    fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0, u64::MAX), 64);
+        assert_eq!(hamming(0b1100, 0b1010), 2);
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                assert_eq!(hamming(a, b), hamming(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_triangle_inequality() {
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for c in 0..16u64 {
+                    assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_dim_values() {
+        assert_eq!(cube_dim(1), 0);
+        assert_eq!(cube_dim(2), 1);
+        assert_eq!(cube_dim(3), 2);
+        assert_eq!(cube_dim(4), 2);
+        assert_eq!(cube_dim(5), 3);
+        assert_eq!(cube_dim(1 << 20), 20);
+        assert_eq!(cube_dim((1 << 20) + 1), 21);
+        assert_eq!(cube_dim(u64::MAX), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cube_dim_zero_panics() {
+        let _ = cube_dim(0);
+    }
+
+    #[test]
+    fn ceil_pow2_values() {
+        for x in 1..=4096u64 {
+            let p = ceil_pow2(x);
+            assert!(is_pow2(p));
+            assert!(p >= x);
+            assert!(p / 2 < x);
+        }
+    }
+
+    #[test]
+    fn ceil_pow2_is_submultiplicative() {
+        // ⌈ab⌉₂ ≤ ⌈a⌉₂⌈b⌉₂ — the inequality behind every relative-expansion
+        // argument in §5 of the paper.
+        for a in 1..=128u64 {
+            for b in 1..=128u64 {
+                assert!(ceil_pow2(a * b) <= ceil_pow2(a) * ceil_pow2(b));
+            }
+        }
+    }
+
+    #[test]
+    fn is_pow2_values() {
+        assert!(!is_pow2(0));
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(!is_pow2(3));
+        assert!(is_pow2(1 << 63));
+        assert!(!is_pow2(u64::MAX));
+    }
+
+    #[test]
+    fn bit_positions_roundtrip() {
+        for x in [0u64, 1, 0b1010, 0xdead_beef, u64::MAX] {
+            let rebuilt = bit_positions(x).fold(0u64, |acc, b| acc | (1 << b));
+            assert_eq!(rebuilt, x);
+            assert_eq!(bit_positions(x).count(), x.count_ones() as usize);
+        }
+    }
+
+    #[test]
+    fn bit_positions_ascending() {
+        let v: Vec<u32> = bit_positions(0b1011_0100).collect();
+        assert_eq!(v, vec![2, 4, 5, 7]);
+    }
+}

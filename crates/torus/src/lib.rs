@@ -1,0 +1,29 @@
+//! Wraparound-mesh (torus) embeddings — §6 of the paper.
+//!
+//! The constructions factor each wraparound axis `ℓ` through a ring in the
+//! product of a small mesh axis and a tiny cube:
+//!
+//! * **Halving** (Lemma 3): `ℓ ≤ 2⌈ℓ/2⌉` rides a ring through two copies
+//!   of the `⌈ℓ/2⌉` mesh axis (one reflected), one submesh bit per axis.
+//!   Even axes keep the inner dilation `d`; odd axes pay `d + 1` on the
+//!   one "logical" wrap edge.
+//! * **Quartering** (Lemma 4): four copies navigated along a 2-bit Gray
+//!   cycle. Multiples of four keep dilation `max(d, 1)`; residues 2 cost
+//!   nothing extra (the removed pair bridges across a single cube edge);
+//!   residues 1 and 3 pay `d + 1` on one logical edge (the paper claims
+//!   `max(d, 2)` here — see EXPERIMENTS.md for the measured comparison).
+//!
+//! The driver [`embed_torus`] picks, per axis, a halving or quartering
+//! code such that the total host dimension is minimal, planning the inner
+//! mesh with the §4.2 strategy — this per-axis mixing slightly generalizes
+//! the paper, which applies one rule to every axis.
+
+pub mod axis;
+pub mod build;
+pub mod driver;
+pub mod predicates;
+
+pub use axis::{axis_half, axis_quarter, AxisCode, Step};
+pub use build::build_torus_embedding;
+pub use driver::{embed_torus, TorusPlanOutcome};
+pub use predicates::{corollary3_dilation2, corollary3_dilation3, lemma3_condition, lemma4_condition};

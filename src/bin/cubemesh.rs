@@ -1,0 +1,245 @@
+//! The `cubemesh` command-line tool: plan, classify, simulate, and export
+//! mesh-in-cube embeddings.
+//!
+//! ```text
+//! cubemesh embed 5 6 7 [--out FILE]      plan + construct + report metrics
+//! cubemesh classify 21 9 5               paper method / constructive plan
+//! cubemesh torus 6 10                    wraparound embedding
+//! cubemesh simulate 9 9 9 [--flits N]    stencil-exchange comparison
+//! cubemesh census 5                      Figure-2 census at li <= 2^5
+//! cubemesh verify FILE                   re-verify an exported embedding
+//! ```
+
+use cubemesh::core::{classify3, construct, embed_mesh, Planner};
+use cubemesh::embedding::portable::{read_embedding, write_embedding};
+use cubemesh::embedding::gray_mesh_embedding;
+use cubemesh::netsim::{simulate_with, stencil_exchange, Switching};
+use cubemesh::reshape::snake_embedding;
+use cubemesh::topology::Shape;
+use cubemesh::torus::embed_torus;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: cubemesh <embed|classify|torus|simulate|census|verify> …");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "embed" => embed(rest),
+        "classify" => classify(rest),
+        "torus" => torus(rest),
+        "simulate" => simulate_cmd(rest),
+        "census" => census(rest),
+        "verify" => verify(rest),
+        other => {
+            eprintln!("unknown command '{}'", other);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_dims(args: &[String]) -> (Vec<usize>, Vec<(String, String)>) {
+    let mut dims = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            flags.push((name.to_string(), value));
+        } else if let Ok(d) = a.parse() {
+            dims.push(d);
+        } else {
+            eprintln!("ignoring argument '{}'", a);
+        }
+    }
+    (dims, flags)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn embed(args: &[String]) -> ExitCode {
+    let (dims, flags) = parse_dims(args);
+    if dims.is_empty() {
+        eprintln!("usage: cubemesh embed <l1> [l2 …] [--out FILE]");
+        return ExitCode::from(2);
+    }
+    let shape = Shape::new(&dims);
+    let (emb, minimal) = embed_mesh(&shape);
+    if let Err(e) = emb.verify() {
+        eprintln!("internal error: constructed embedding failed to verify: {}", e);
+        return ExitCode::from(1);
+    }
+    let m = emb.metrics();
+    println!(
+        "{}: Q{} ({}), expansion {:.3}, dilation {}, congestion {}, avg dilation {:.3}",
+        shape,
+        m.host_dim,
+        if minimal { "minimal" } else { "Gray fallback — no minimal plan known" },
+        m.expansion,
+        m.dilation,
+        m.congestion,
+        m.avg_dilation
+    );
+    if let Some(path) = flag(&flags, "out") {
+        let mut f = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {}: {}", path, e);
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = write_embedding(&emb, &mut f) {
+            eprintln!("write failed: {}", e);
+            return ExitCode::from(1);
+        }
+        println!("wrote {}", path);
+    }
+    ExitCode::SUCCESS
+}
+
+fn classify(args: &[String]) -> ExitCode {
+    let (dims, _) = parse_dims(args);
+    if dims.len() != 3 {
+        eprintln!("usage: cubemesh classify <l1> <l2> <l3>");
+        return ExitCode::from(2);
+    }
+    let shape = Shape::new(&dims);
+    match classify3(dims[0] as u64, dims[1] as u64, dims[2] as u64) {
+        Some(m) => println!("{}: paper method {:?} (cube Q{})", shape, m, shape.minimal_cube_dim()),
+        None => println!("{}: open under the paper's methods 1-4", shape),
+    }
+    match Planner::new().plan(&shape) {
+        Some(plan) => {
+            let emb = construct(&shape, &plan);
+            let met = emb.metrics();
+            println!(
+                "constructive: {} — dilation {}, congestion {}",
+                plan, met.dilation, met.congestion
+            );
+        }
+        None => println!("constructive: no plan in this repo's catalog"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn torus(args: &[String]) -> ExitCode {
+    let (dims, _) = parse_dims(args);
+    if dims.is_empty() {
+        eprintln!("usage: cubemesh torus <l1> [l2 …]");
+        return ExitCode::from(2);
+    }
+    let shape = Shape::new(&dims);
+    match embed_torus(&shape) {
+        Some(out) => {
+            let m = out.embedding.metrics();
+            println!(
+                "{} (wraparound): Q{}, dilation {} (bound {}), congestion {}, rule {:?}",
+                shape, m.host_dim, m.dilation, out.dilation_bound, m.congestion, out.rule
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("{}: no §6 construction lands in the minimal cube", shape);
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn simulate_cmd(args: &[String]) -> ExitCode {
+    let (dims, flags) = parse_dims(args);
+    if dims.is_empty() {
+        eprintln!("usage: cubemesh simulate <l1> [l2 …] [--flits N] [--cut-through x]");
+        return ExitCode::from(2);
+    }
+    let flits: u32 = flag(&flags, "flits").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let switching = if flag(&flags, "cut-through").is_some() {
+        Switching::CutThrough
+    } else {
+        Switching::StoreAndForward
+    };
+    let shape = Shape::new(&dims);
+    println!(
+        "{}: stencil exchange, {} flits, {:?}",
+        shape, flits, switching
+    );
+    let (decomp, minimal) = embed_mesh(&shape);
+    let cases = [
+        (if minimal { "decomposition" } else { "gray (no plan)" }, decomp),
+        ("gray (expanded)", gray_mesh_embedding(&shape)),
+        ("snake (minimal)", snake_embedding(&shape)),
+    ];
+    for (name, emb) in cases {
+        let r = simulate_with(emb.host(), &stencil_exchange(&emb, flits), switching);
+        println!(
+            "  {:<16} Q{:<3} dilation {:<2} makespan {:>6} ({:.2}x)",
+            name,
+            emb.host().dim(),
+            emb.metrics().dilation,
+            r.makespan,
+            r.makespan as f64 / flits as f64
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn census(args: &[String]) -> ExitCode {
+    let (dims, _) = parse_dims(args);
+    let n = dims.first().copied().unwrap_or(5) as u32;
+    if !(1..=9).contains(&n) {
+        eprintln!("census n must be 1..=9");
+        return ExitCode::from(2);
+    }
+    let c = cubemesh::census::census_3d(n);
+    let s = c.cumulative_percent();
+    println!(
+        "n={}: S1 {:.1}%  S2 {:.1}%  S3 {:.1}%  S4 {:.1}%  constructive {:.1}%",
+        n,
+        s[0],
+        s[1],
+        s[2],
+        s[3],
+        c.constructive_percent()
+    );
+    ExitCode::SUCCESS
+}
+
+fn verify(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cubemesh verify FILE");
+        return ExitCode::from(2);
+    };
+    let f = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {}: {}", path, e);
+            return ExitCode::from(1);
+        }
+    };
+    match read_embedding(&mut BufReader::new(f)) {
+        Ok(emb) => match emb.verify() {
+            Ok(()) => {
+                let m = emb.metrics();
+                println!(
+                    "OK: {} nodes -> Q{}, dilation {}, congestion {}",
+                    emb.guest_nodes(),
+                    m.host_dim,
+                    m.dilation,
+                    m.congestion
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("INVALID: {}", e);
+                ExitCode::from(1)
+            }
+        },
+        Err(e) => {
+            eprintln!("parse error: {}", e);
+            ExitCode::from(1)
+        }
+    }
+}

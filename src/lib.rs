@@ -1,0 +1,15 @@
+//! # cubemesh — mesh embeddings in Boolean cubes by graph decomposition
+//!
+//! Facade crate re-exporting the full workspace. See the README for a tour
+//! and DESIGN.md for the paper-to-module map.
+
+pub use cubemesh_census as census;
+pub use cubemesh_core as core;
+pub use cubemesh_embedding as embedding;
+pub use cubemesh_gray as gray;
+pub use cubemesh_manytoone as manytoone;
+pub use cubemesh_netsim as netsim;
+pub use cubemesh_reshape as reshape;
+pub use cubemesh_search as search;
+pub use cubemesh_topology as topology;
+pub use cubemesh_torus as torus;

@@ -1,0 +1,91 @@
+//! End-to-end: embeddings drive the network simulator and the measured
+//! communication cost tracks dilation/congestion as the paper argues.
+
+use cubemesh::core::embed_mesh;
+use cubemesh::embedding::gray_mesh_embedding;
+use cubemesh::netsim::{axis_shift, simulate, stencil_exchange};
+use cubemesh::reshape::snake_embedding;
+use cubemesh::topology::Shape;
+
+/// Gray embedding: one halo exchange takes exactly the message time.
+#[test]
+fn gray_halo_exchange_is_optimal() {
+    for dims in [vec![8usize, 8], vec![4, 4, 4]] {
+        let shape = Shape::new(&dims);
+        let emb = gray_mesh_embedding(&shape);
+        let msgs = stencil_exchange(&emb, 24);
+        let r = simulate(emb.host(), &msgs);
+        assert_eq!(r.makespan, 24, "{:?}", dims);
+        assert_eq!(r.delivered, 2 * shape.mesh_edges());
+    }
+}
+
+/// The decomposition embedding stays within ~4x of ideal (dilation 2,
+/// congestion 2 compound at worst multiplicatively), while the snake
+/// curve degrades far beyond it on elongated meshes.
+#[test]
+fn decomposition_beats_snake_on_elongated_meshes() {
+    let shape = Shape::new(&[5, 48]);
+    let flits = 16;
+
+    let (decomp, minimal) = embed_mesh(&shape);
+    assert!(minimal, "5x48 = (5x3)·(1x16) should be plannable");
+    let rd = simulate(decomp.host(), &stencil_exchange(&decomp, flits));
+
+    let snake = snake_embedding(&shape);
+    let rs = simulate(snake.host(), &stencil_exchange(&snake, flits));
+
+    assert!(
+        rd.makespan <= 4 * flits as u64,
+        "decomposition makespan {} too slow",
+        rd.makespan
+    );
+    assert!(
+        rs.makespan > rd.makespan,
+        "snake {} should lose to decomposition {}",
+        rs.makespan,
+        rd.makespan
+    );
+}
+
+/// Axis shifts complete and touch only the right number of messages.
+#[test]
+fn axis_shifts() {
+    let shape = Shape::new(&[6, 11, 7]);
+    let (emb, minimal) = embed_mesh(&shape);
+    assert!(minimal);
+    for axis in 0..3 {
+        let msgs = axis_shift(&emb, &shape, axis, 8);
+        let expect = shape.nodes() / shape.len(axis) * (shape.len(axis) - 1);
+        assert_eq!(msgs.len(), expect, "axis {}", axis);
+        let r = simulate(emb.host(), &msgs);
+        assert_eq!(r.delivered, expect);
+        assert!(r.makespan <= 4 * 8, "axis {} makespan {}", axis, r.makespan);
+    }
+}
+
+/// Expansion matters too: the Gray embedding of 9x9x9 wastes 1024-729
+/// processors; the decomposition embedding delivers the same exchange on
+/// the minimal cube without blowing up the makespan.
+#[test]
+fn minimal_expansion_without_makespan_blowup() {
+    let shape = Shape::new(&[9, 9, 9]);
+    let flits = 32u32;
+
+    let gray = gray_mesh_embedding(&shape);
+    assert_eq!(gray.host().dim(), 12);
+    let rg = simulate(gray.host(), &stencil_exchange(&gray, flits));
+
+    let (decomp, minimal) = embed_mesh(&shape);
+    assert!(minimal);
+    assert_eq!(decomp.host().dim(), 10);
+    let rd = simulate(decomp.host(), &stencil_exchange(&decomp, flits));
+
+    assert_eq!(rg.makespan, flits as u64);
+    assert!(
+        rd.makespan <= 4 * flits as u64,
+        "decomposition {} vs gray {}",
+        rd.makespan,
+        rg.makespan
+    );
+}

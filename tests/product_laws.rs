@@ -1,0 +1,108 @@
+//! Property tests for Theorem 3: the product-embedding metric laws hold
+//! *exactly* on constructed embeddings.
+
+use cubemesh::core::{mesh_product_embedding, product_embedding};
+use cubemesh::embedding::{gray_mesh_embedding, Embedding};
+use cubemesh::search::catalog_embedding;
+use cubemesh::topology::Shape;
+use proptest::prelude::*;
+
+/// Factor embeddings to draw from: Gray meshes and catalog directs.
+fn factor(dims: Vec<usize>) -> (Shape, Embedding) {
+    let shape = Shape::new(&dims);
+    let emb = catalog_embedding(&shape).unwrap_or_else(|| gray_mesh_embedding(&shape));
+    (shape, emb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generic Theorem 3: expansion multiplies; dilation and congestion
+    /// are the maxima of the factors' — exactly, because every factor
+    /// copy is traversed whole.
+    #[test]
+    fn theorem3_exact_laws(
+        a1 in 1usize..5, a2 in 1usize..5,
+        b1 in 1usize..4, b2 in 1usize..6,
+    ) {
+        let (_, e1) = factor(vec![a1, a2]);
+        let (_, e2) = factor(vec![b1, b2]);
+        let p = product_embedding(&e1, &e2);
+        p.verify().unwrap();
+        let (m1, m2, mp) = (e1.metrics(), e2.metrics(), p.metrics());
+        prop_assert_eq!(mp.host_dim, m1.host_dim + m2.host_dim);
+        prop_assert!((mp.expansion - m1.expansion * m2.expansion).abs() < 1e-9);
+        // Dilation: max, exactly (if both factors have edges).
+        if m1.guest_edge_count > 0 && m2.guest_edge_count > 0 {
+            prop_assert_eq!(mp.dilation, m1.dilation.max(m2.dilation));
+        }
+        // Congestion: exactly the max (disjoint copies).
+        if m1.guest_edge_count > 0 && m2.guest_edge_count > 0 {
+            prop_assert_eq!(mp.congestion, m1.congestion.max(m2.congestion));
+        }
+    }
+
+    /// Corollary 2: the reflected mesh product verifies and meets the
+    /// bounds for any fitting target shape.
+    #[test]
+    fn corollary2_reflected_products(
+        f1 in prop::sample::select(vec![
+            vec![3usize, 5], vec![4, 4], vec![3, 3], vec![2, 8], vec![5, 5],
+        ]),
+        f2 in prop::sample::select(vec![
+            vec![2usize, 2], vec![1, 4], vec![3, 1], vec![2, 3], vec![4, 2],
+        ]),
+        shrink1 in 0usize..2, shrink2 in 0usize..2,
+    ) {
+        let (s1, e1) = factor(f1);
+        let (s2, e2) = factor(f2);
+        let full = s1.product(&s2);
+        // Target: the full product, possibly shaved by 1–2 on each axis
+        // (the §4.2 extension/restriction path).
+        let dims: Vec<usize> = full
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d - if i == 0 { shrink1 } else { shrink2 }).max(1))
+            .collect();
+        let target = Shape::new(&dims);
+        let emb = mesh_product_embedding(&target, &s1, &e1, &s2, &e2);
+        emb.verify().unwrap();
+        let m = emb.metrics();
+        let bound = e1.metrics().dilation.max(e2.metrics().dilation);
+        prop_assert!(m.dilation <= bound.max(1));
+        let cbound = e1.metrics().congestion.max(e2.metrics().congestion);
+        prop_assert!(m.congestion <= cbound.max(1));
+    }
+}
+
+/// Average-dilation accounting of §4.1: for Gray × M₂ products, the
+/// average dilation approaches 1 as the Gray factor grows.
+#[test]
+fn average_dilation_improves_with_gray_factor() {
+    let (s2, e2) = factor(vec![3, 5]); // dilation-2 direct
+    let mut last = f64::INFINITY;
+    for g in [2usize, 4, 8] {
+        let s1 = Shape::new(&[g, g]);
+        let e1 = gray_mesh_embedding(&s1);
+        let target = s1.product(&s2);
+        let emb = mesh_product_embedding(&target, &s1, &e1, &s2, &e2);
+        emb.verify().unwrap();
+        let avg = emb.metrics().avg_dilation;
+        assert!(avg < last, "avg dilation should fall: {} vs {}", avg, last);
+        last = avg;
+    }
+    assert!(last < 1.2, "large Gray factors push avg dilation toward 1: {}", last);
+}
+
+/// Product with a single-node factor is the identity on metrics.
+#[test]
+fn product_with_point_is_identity() {
+    let (s1, e1) = factor(vec![3, 5]);
+    let (s2, e2) = factor(vec![1, 1]);
+    let emb = mesh_product_embedding(&s1.product(&s2), &s1, &e1, &s2, &e2);
+    emb.verify().unwrap();
+    assert_eq!(emb.metrics().dilation, e1.metrics().dilation);
+    assert_eq!(emb.metrics().congestion, e1.metrics().congestion);
+    assert_eq!(emb.host().dim(), e1.host().dim());
+}

@@ -1,0 +1,175 @@
+//! Integration sweeps for the §6 (wraparound) and §7 (many-to-one)
+//! extensions.
+
+use cubemesh::embedding::{load_factor, verify_many_to_one};
+use cubemesh::manytoone::{contract, corollary5, optimal_load_factor};
+use cubemesh::topology::Shape;
+use cubemesh::torus::{
+    corollary3_dilation2, corollary3_dilation3, embed_torus,
+};
+
+/// Corollary 3, measured: every 2-D torus its predicate claims at
+/// dilation ≤ 2 embeds at dilation ≤ 2 when the driver finds a plan;
+/// likewise ≤ 3.
+#[test]
+fn corollary3_sweep() {
+    let mut built2 = 0;
+    let mut built3 = 0;
+    let mut residue_gap = Vec::new();
+    for l1 in 3..=20usize {
+        for l2 in l1..=20usize {
+            let shape = Shape::new(&[l1, l2]);
+            if let Some(out) = embed_torus(&shape) {
+                out.embedding.verify().unwrap();
+                let m = out.embedding.metrics();
+                assert!(m.is_minimal_expansion(), "{}", shape);
+                // Our construction's honest guarantee.
+                assert!(
+                    m.dilation <= out.dilation_bound,
+                    "{}: {} > bound {}",
+                    shape,
+                    m.dilation,
+                    out.dilation_bound
+                );
+                if corollary3_dilation2(l1, l2) {
+                    // The paper claims ≤ 2. Our Lemma 4 reconstruction
+                    // pays d+1 = 3 on axes ≡ 1, 3 (mod 4) whose inner
+                    // mesh needs a dilation-2 plan (see EXPERIMENTS.md);
+                    // everything else must hit the paper's bound.
+                    if m.dilation <= 2 {
+                        built2 += 1;
+                    } else {
+                        assert!(m.dilation <= 3, "{}: {}", shape, m.dilation);
+                        assert!(
+                            [l1, l2].iter().any(|&l| l % 4 == 1 || l % 4 == 3),
+                            "{}: only odd-residue axes may exceed the claim",
+                            shape
+                        );
+                        residue_gap.push((l1, l2, m.dilation));
+                    }
+                } else if corollary3_dilation3(l1, l2) {
+                    assert!(
+                        m.dilation <= 3,
+                        "{}: predicted ≤3, measured {}",
+                        shape,
+                        m.dilation
+                    );
+                    built3 += 1;
+                }
+            }
+        }
+    }
+    assert!(built2 >= 20, "dilation-2 class exercised: {}", built2);
+    assert!(built3 >= 3, "dilation-3 class exercised: {}", built3);
+    assert!(
+        residue_gap.len() <= 6,
+        "the d+1 gap should stay rare: {:?}",
+        residue_gap
+    );
+}
+
+/// Wraparound edges genuinely present: a torus embedding covers more
+/// edges than the mesh embedding of the same shape.
+#[test]
+fn torus_edges_exceed_mesh_edges() {
+    let shape = Shape::new(&[6, 10]);
+    let out = embed_torus(&shape).expect("6x10");
+    assert_eq!(out.embedding.guest_edges().len(), shape.torus_edges());
+    assert!(shape.torus_edges() > shape.mesh_edges());
+}
+
+/// 3-D tori across the even/odd/mixed spectrum.
+#[test]
+fn three_d_torus_sweep() {
+    for dims in [
+        vec![4usize, 4, 4],
+        vec![4, 6, 10],
+        vec![8, 8, 8],
+        vec![2, 6, 8],
+    ] {
+        let shape = Shape::new(&dims);
+        let out = embed_torus(&shape).unwrap_or_else(|| panic!("{:?}", dims));
+        out.embedding.verify().unwrap();
+        let m = out.embedding.metrics();
+        assert!(m.is_minimal_expansion(), "{:?}", dims);
+        assert!(
+            m.dilation <= out.dilation_bound,
+            "{:?}: {} > bound {}",
+            dims,
+            m.dilation,
+            out.dilation_bound
+        );
+    }
+}
+
+/// Lemma 5's load/congestion laws over a factor sweep.
+#[test]
+fn contraction_laws_sweep() {
+    use cubemesh::embedding::gray_mesh_embedding;
+    let base_shape = Shape::new(&[4, 8]);
+    let base = gray_mesh_embedding(&base_shape);
+    for f1 in 1..=4usize {
+        for f2 in 1..=3usize {
+            let emb = contract(&base_shape, &base, &[f1, f2]);
+            verify_many_to_one(&emb).unwrap();
+            assert_eq!(
+                load_factor(emb.map(), emb.host()) as usize,
+                f1 * f2,
+                "{}x{}",
+                f1,
+                f2
+            );
+            let m = emb.metrics();
+            assert!(m.dilation <= 1);
+            // Lemma 5: congestion ≤ max over axes of cᵢ·Πⱼ≠ᵢ fⱼ with
+            // base congestion 1.
+            assert!(
+                m.congestion as usize <= f1.max(f2),
+                "{}x{}: congestion {}",
+                f1,
+                f2,
+                m.congestion
+            );
+        }
+    }
+}
+
+/// Corollary 5 honored across a sweep: dilation 1, load within 2x
+/// optimal whenever a cover exists.
+#[test]
+fn corollary5_sweep() {
+    let mut found = 0;
+    for (dims, n) in [
+        (vec![19usize, 19], 5u32), // the paper's example (24x20 cover)
+        (vec![31, 3], 4),          // 32x4 cover
+        (vec![9, 17], 5),          // no cover: Σnᵢ ≥ 5 overflows the cube
+        (vec![11, 23], 6),         // no cover either
+        (vec![7, 9, 11], 7),
+    ] {
+        let shape = Shape::new(&dims);
+        if let Some(emb) = corollary5(&shape, n) {
+            verify_many_to_one(&emb).unwrap();
+            assert_eq!(emb.host().dim(), n);
+            assert_eq!(emb.metrics().dilation, 1, "{:?}", dims);
+            let lf = load_factor(emb.map(), emb.host()) as u64;
+            let opt = optimal_load_factor(shape.nodes(), n);
+            assert!(
+                lf <= 2 * opt,
+                "{:?}: load {} vs optimal {}",
+                dims,
+                lf,
+                opt
+            );
+            found += 1;
+        }
+    }
+    assert!(found >= 2, "corollary 5 covers: {}", found);
+}
+
+/// The paper's exact 19×19 numbers.
+#[test]
+fn paper_19x19_numbers() {
+    let emb = corollary5(&Shape::new(&[19, 19]), 5).unwrap();
+    assert_eq!(load_factor(emb.map(), emb.host()), 15);
+    assert_eq!(optimal_load_factor(19 * 19, 5), 12);
+}
