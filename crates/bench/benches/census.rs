@@ -48,5 +48,10 @@ fn bench_fig1(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_classification, bench_census_small, bench_fig1);
+criterion_group!(
+    benches,
+    bench_classification,
+    bench_census_small,
+    bench_fig1
+);
 criterion_main!(benches);

@@ -9,7 +9,12 @@ use std::hint::black_box;
 
 fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan");
-    for dims in [vec![21usize, 9, 5], vec![9, 9, 9], vec![24, 20, 12], vec![255, 255, 255]] {
+    for dims in [
+        vec![21usize, 9, 5],
+        vec![9, 9, 9],
+        vec![24, 20, 12],
+        vec![255, 255, 255],
+    ] {
         let shape = Shape::new(&dims);
         group.bench_function(shape.to_string(), |b| {
             b.iter_batched(
@@ -39,9 +44,7 @@ fn bench_metrics(c: &mut Criterion) {
     for dims in [vec![32usize, 32], vec![16, 16, 16]] {
         let shape = Shape::new(&dims);
         let emb = gray_mesh_embedding(&shape);
-        group.bench_function(shape.to_string(), |b| {
-            b.iter(|| black_box(emb.metrics()))
-        });
+        group.bench_function(shape.to_string(), |b| b.iter(|| black_box(emb.metrics())));
     }
     group.finish();
 }

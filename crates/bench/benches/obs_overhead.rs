@@ -1,0 +1,45 @@
+//! Cost of the compiled-in instrumentation: identical workloads with
+//! stats disabled (each site is one relaxed atomic load) and enabled.
+//! The acceptance bar is ≤2% overhead when enabled and ~0 when off.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cubemesh_census::census_3d;
+use cubemesh_core::Planner;
+use cubemesh_obs as obs;
+use cubemesh_topology::Shape;
+use std::hint::black_box;
+
+fn bench_planner_overhead(c: &mut Criterion) {
+    let shape = Shape::new(&[21, 9, 5]);
+    let mut group = c.benchmark_group("obs_overhead/planner");
+    for (label, on) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            obs::set_enabled(on);
+            b.iter_batched(
+                Planner::new,
+                |mut planner| black_box(planner.plan(black_box(&shape))),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+    obs::set_enabled(false);
+    obs::reset();
+}
+
+fn bench_census_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead/census_small");
+    group.sample_size(10);
+    for (label, on) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            obs::set_enabled(on);
+            b.iter(|| black_box(census_3d(black_box(4))))
+        });
+    }
+    group.finish();
+    obs::set_enabled(false);
+    obs::reset();
+}
+
+criterion_group!(benches, bench_planner_overhead, bench_census_overhead);
+criterion_main!(benches);

@@ -36,14 +36,7 @@ fn bench_certification(c: &mut Criterion) {
         let edges = mesh_edge_list(&mesh);
         let host = Hypercube::new(shape.minimal_cube_dim());
         group.bench_function(shape.to_string(), |b| {
-            b.iter(|| {
-                black_box(certify_congestion(
-                    black_box(&map),
-                    &edges,
-                    host,
-                    2,
-                ))
-            })
+            b.iter(|| black_box(certify_congestion(black_box(&map), &edges, host, 2)))
         });
     }
     group.finish();

@@ -3,7 +3,10 @@
 //! EXPERIMENTS.md records paper-vs-measured.
 //!
 //! Usage: `figures [fig1] [fig2 [max_n]] [exceptions] [twod] [examples]
-//!         [catalog] [torus] [manytoone] [netsim] [opencase] [all]`
+//!         [catalog] [torus] [manytoone] [netsim] [opencase] [all] [--stats]`
+//!
+//! `--stats` (or `CUBEMESH_STATS=text|json`) prints an instrumentation
+//! snapshot after the selected figures run.
 
 use cubemesh_census::two_d::census_2d_full;
 use cubemesh_census::{
@@ -14,18 +17,26 @@ use cubemesh_core::{classify3, construct, embed_mesh, Planner};
 use cubemesh_embedding::{gray_mesh_embedding, load_factor, verify_many_to_one};
 use cubemesh_manytoone::{contract, corollary5, optimal_load_factor};
 use cubemesh_netsim::{simulate, stencil_exchange};
+use cubemesh_obs as obs;
 use cubemesh_reshape::snake_embedding;
 use cubemesh_search::{anneal, catalog_entries, AnnealConfig, AnnealOutcome};
 use cubemesh_topology::{cube_dim, Shape};
 use cubemesh_torus::{corollary3_dilation2, corollary3_dilation3, embed_torus};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    obs::init_from_env();
+    if args.iter().any(|a| a == "--stats") {
+        args.retain(|a| a != "--stats");
+        if obs::mode() == obs::StatsMode::Off {
+            obs::set_mode(obs::StatsMode::Text);
+        }
+    }
     if args.is_empty() {
         eprintln!(
             "usage: figures [fig1] [fig2 [max_n]] [exceptions] [twod] \
              [examples] [catalog] [torus] [manytoone] [netsim] [ablation] \
-             [opencase] [all]"
+             [opencase] [all] [--stats]"
         );
         std::process::exit(2);
     }
@@ -69,12 +80,16 @@ fn main() {
             }
         }
     }
+    obs::report();
 }
 
 /// Figure 1: Gray-code minimal-expansion fraction vs k.
 fn fig1() {
     println!("== Figure 1: fraction of k-D meshes minimal under Gray code ==");
-    println!("{:>3} {:>12} {:>12} {:>16}", "k", "closed-form", "monte-carlo", "exact");
+    println!(
+        "{:>3} {:>12} {:>12} {:>16}",
+        "k", "closed-form", "monte-carlo", "exact"
+    );
     for k in 1..=10u32 {
         let cf = gray_fraction_closed_form(k);
         let mc = gray_fraction_monte_carlo(k, 2_000_000, 0xF1A5 + k as u64);
@@ -217,7 +232,10 @@ fn catalog() {
 /// §6: wraparound meshes.
 fn torus() {
     println!("== §6: wraparound meshes ==");
-    println!("{:>9} {:>6} {:>9} {:>9} {:>11}", "torus", "cube", "dilation", "bound", "rule");
+    println!(
+        "{:>9} {:>6} {:>9} {:>9} {:>11}",
+        "torus", "cube", "dilation", "bound", "rule"
+    );
     for dims in [
         vec![6usize, 10],
         vec![4, 6],
@@ -291,8 +309,8 @@ fn manytoone() {
         verify_many_to_one(&emb).unwrap();
         let m = emb.metrics();
         let lf = load_factor(emb.map(), emb.host());
-        let bound: usize = factors.iter().product::<usize>()
-            / factors.iter().copied().min().unwrap();
+        let bound: usize =
+            factors.iter().product::<usize>() / factors.iter().copied().min().unwrap();
         println!(
             "{} x factors {:?}: dilation {}, load {}, congestion {} (Cor.4 bound {})",
             bs, factors, m.dilation, lf, m.congestion, bound
@@ -308,13 +326,22 @@ fn netsim() {
         "{:>10} {:>22} {:>6} {:>9} {:>9} {:>10}",
         "mesh", "embedding", "cube", "dilation", "makespan", "slowdown"
     );
-    for dims in [vec![5usize, 6, 7], vec![9, 9, 9], vec![12, 20], vec![17, 17]] {
+    for dims in [
+        vec![5usize, 6, 7],
+        vec![9, 9, 9],
+        vec![12, 20],
+        vec![17, 17],
+    ] {
         let shape = Shape::new(&dims);
         let flits = 32;
         let mut rows: Vec<(String, cubemesh_embedding::Embedding)> = Vec::new();
         let (emb, minimal) = embed_mesh(&shape);
         rows.push((
-            if minimal { "decomposition".into() } else { "gray (fallback)".into() },
+            if minimal {
+                "decomposition".into()
+            } else {
+                "gray (fallback)".into()
+            },
             emb,
         ));
         rows.push(("gray (expanded)".into(), gray_mesh_embedding(&shape)));
@@ -345,7 +372,10 @@ fn ablation() {
     use rand::rngs::StdRng;
 
     println!("== ablation: routing strategy vs congestion (random maps) ==");
-    println!("{:>8} {:>12} {:>10} {:>10}", "mesh", "host", "canonical", "balanced");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "mesh", "host", "canonical", "balanced"
+    );
     let mut rng = StdRng::seed_from_u64(11);
     for dims in [vec![4usize, 6], vec![5, 7], vec![4, 4, 4]] {
         let shape = Shape::new(&dims);
@@ -410,13 +440,8 @@ fn opencase() {
     let host = cubemesh_topology::Hypercube::new(entry.host_dim);
     let routes = cubemesh_search::routes::certify_congestion(entry.map, &edges, host, 3)
         .expect("congestion-3 routing");
-    let emb = cubemesh_embedding::Embedding::new(
-        mesh.nodes(),
-        edges,
-        host,
-        entry.map.to_vec(),
-        routes,
-    );
+    let emb =
+        cubemesh_embedding::Embedding::new(mesh.nodes(), edges, host, entry.map.to_vec(), routes);
     emb.verify().unwrap();
     let m = emb.metrics();
     println!(

@@ -13,10 +13,11 @@ use cubemesh_topology::{cube_dim, Hypercube, Mesh, Shape};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let max_nodes: usize =
-        args.first().and_then(|s| s.parse().ok()).unwrap_or(256);
-    let budget: u64 =
-        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000_000);
+    let max_nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let budget: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000_000);
 
     let (two, _) = workspace_catalog();
     let c2 = Cover2::build(max_nodes, two);
@@ -33,7 +34,11 @@ fn main() {
         }
     }
     missing.sort_by_key(|&(a, b)| a * b);
-    eprintln!("{} uncovered 2-D shapes <= {} nodes", missing.len(), max_nodes);
+    eprintln!(
+        "{} uncovered 2-D shapes <= {} nodes",
+        missing.len(),
+        max_nodes
+    );
 
     for (a, b) in missing {
         let shape = Shape::new(&[a, b]);
@@ -56,13 +61,19 @@ fn main() {
                     if certify_congestion(&map, &edges, host, 2).is_some() {
                         eprintln!(
                             "{}x{}: found + certified (seed {:?}, {:?})",
-                            a, b, seed, t.elapsed()
+                            a,
+                            b,
+                            seed,
+                            t.elapsed()
                         );
                         emit(&shape, host_dim, &map);
                         found = true;
                         break;
                     } else {
-                        eprintln!("{}x{}: found but congestion-2 failed (seed {:?})", a, b, seed);
+                        eprintln!(
+                            "{}x{}: found but congestion-2 failed (seed {:?})",
+                            a, b, seed
+                        );
                     }
                 }
                 SearchOutcome::Exhausted => {
@@ -70,7 +81,13 @@ fn main() {
                     break;
                 }
                 SearchOutcome::BudgetExceeded => {
-                    eprintln!("{}x{}: budget exceeded (seed {:?}, {:?})", a, b, seed, t.elapsed());
+                    eprintln!(
+                        "{}x{}: budget exceeded (seed {:?}, {:?})",
+                        a,
+                        b,
+                        seed,
+                        t.elapsed()
+                    );
                     break; // bigger shapes won't get cheaper; move on
                 }
             }

@@ -30,7 +30,10 @@ pub fn workspace_catalog() -> (Vec<CoverEntry>, Vec<CoverEntry>) {
     let mut two = Vec::new();
     let mut three = Vec::new();
     for e in cubemesh_search::catalog_entries() {
-        let entry = CoverEntry { dims: e.dims.to_vec(), host: e.host_dim };
+        let entry = CoverEntry {
+            dims: e.dims.to_vec(),
+            host: e.host_dim,
+        };
         match e.dims.len() {
             2 => two.push(entry),
             3 => three.push(entry),
@@ -43,9 +46,18 @@ pub fn workspace_catalog() -> (Vec<CoverEntry>, Vec<CoverEntry>) {
 /// The paper's §3.3 2-D direct set.
 pub fn paper_2d_catalog() -> Vec<CoverEntry> {
     vec![
-        CoverEntry { dims: vec![3, 5], host: 4 },
-        CoverEntry { dims: vec![7, 9], host: 6 },
-        CoverEntry { dims: vec![11, 11], host: 7 },
+        CoverEntry {
+            dims: vec![3, 5],
+            host: 4,
+        },
+        CoverEntry {
+            dims: vec![7, 9],
+            host: 6,
+        },
+        CoverEntry {
+            dims: vec![11, 11],
+            host: 7,
+        },
     ]
 }
 
@@ -62,7 +74,11 @@ impl Cover2 {
     /// Build the table with the given direct set (see
     /// [`workspace_catalog`], [`paper_2d_catalog`]).
     pub fn build(max: usize, catalog: Vec<CoverEntry>) -> Self {
-        let mut c = Cover2 { max, table: vec![0u8; max * max], catalog };
+        let mut c = Cover2 {
+            max,
+            table: vec![0u8; max * max],
+            catalog,
+        };
         for a in 1..=max {
             for b in a..=max {
                 c.eval(a, b);
@@ -107,9 +123,7 @@ impl Cover2 {
         // Peel powers of two.
         let (oa, ob) = (a >> a.trailing_zeros(), b >> b.trailing_zeros());
         let eps = a.trailing_zeros() + b.trailing_zeros();
-        if eps > 0
-            && cube_dim((oa * ob) as u64) + eps == total
-            && self.eval(oa.min(ob), oa.max(ob))
+        if eps > 0 && cube_dim((oa * ob) as u64) + eps == total && self.eval(oa.min(ob), oa.max(ob))
         {
             return true;
         }
@@ -138,7 +152,11 @@ pub struct Cover3<'a> {
 impl<'a> Cover3<'a> {
     /// New context (one per worker thread).
     pub fn new(c2: &'a Cover2, catalog3: &'a [CoverEntry]) -> Self {
-        Cover3 { c2, catalog3, memo: HashMap::new() }
+        Cover3 {
+            c2,
+            catalog3,
+            memo: HashMap::new(),
+        }
     }
 
     /// Is `l1 × l2 × l3` constructively coverable?
@@ -170,11 +188,7 @@ impl<'a> Cover3<'a> {
         }
         // Direct (sorted dims), exact or extension.
         for e in self.catalog3 {
-            if e.host == total
-                && l[0] <= e.dims[0]
-                && l[1] <= e.dims[1]
-                && l[2] <= e.dims[2]
-            {
+            if e.host == total && l[0] <= e.dims[0] && l[1] <= e.dims[1] && l[2] <= e.dims[2] {
                 return true;
             }
         }
@@ -193,8 +207,7 @@ impl<'a> Cover3<'a> {
             for perm in PERMS3 {
                 let d = [e.dims[perm[0]], e.dims[perm[1]], e.dims[perm[2]]];
                 // Gray extension.
-                let ext: u32 =
-                    (0..3).map(|i| cube_dim(l[i].div_ceil(d[i]) as u64)).sum();
+                let ext: u32 = (0..3).map(|i| cube_dim(l[i].div_ceil(d[i]) as u64)).sum();
                 if e.host + ext == total {
                     return true;
                 }
@@ -213,9 +226,7 @@ impl<'a> Cover3<'a> {
         for c in 0..3 {
             let a = l[(c + 1) % 3];
             let b = l[(c + 2) % 3];
-            if cube_dim((a * b) as u64) + cube_dim(l[c] as u64) == total
-                && self.c2.covered(a, b)
-            {
+            if cube_dim((a * b) as u64) + cube_dim(l[c] as u64) == total && self.c2.covered(a, b) {
                 return true;
             }
         }
@@ -226,8 +237,7 @@ impl<'a> Cover3<'a> {
             for (a, b) in [(a, b), (b, a)] {
                 for lp in 2..l[j] {
                     let ls = l[j].div_ceil(lp);
-                    if cube_dim((a * lp) as u64) + cube_dim((ls * b) as u64)
-                        == total
+                    if cube_dim((a * lp) as u64) + cube_dim((ls * b) as u64) == total
                         && self.c2.covered(a, lp)
                         && self.c2.covered(ls, b)
                     {

@@ -65,13 +65,7 @@ mod tests {
     fn paper_list_at_256() {
         assert_eq!(
             exceptions_up_to(256),
-            vec![
-                (3, 5, 17),
-                (3, 9, 9),
-                (5, 5, 5),
-                (5, 5, 10),
-                (5, 7, 7),
-            ]
+            vec![(3, 5, 17), (3, 9, 9), (5, 5, 5), (5, 5, 10), (5, 7, 7),]
         );
     }
 
@@ -80,8 +74,7 @@ mod tests {
         // Everything the paper's black-box methods miss, we miss too; the
         // constructive list may be longer (Chan's universal 2-D result is
         // stronger than our catalog).
-        let paper: std::collections::HashSet<_> =
-            exceptions_up_to(128).into_iter().collect();
+        let paper: std::collections::HashSet<_> = exceptions_up_to(128).into_iter().collect();
         let ours = constructive_exceptions_up_to(128);
         for t in &paper {
             assert!(ours.contains(t), "{:?} missing from constructive list", t);

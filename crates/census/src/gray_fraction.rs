@@ -6,6 +6,7 @@
 //! mantissas `aᵢ = ℓᵢ/⌈ℓᵢ⌉₂` being asymptotically uniform on `(½, 1]`
 //! and Gray being minimal iff `Π aᵢ > ½`.
 
+use cubemesh_obs::Progress;
 use cubemesh_topology::cube_dim;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -62,6 +63,7 @@ pub fn gray_fraction_exact(k: u32, n: u32) -> f64 {
             hits as f64 / (limit * limit) as f64
         }
         3 => {
+            let progress = Progress::new("gray-fraction", limit);
             let hits: u64 = (1..=limit)
                 .into_par_iter()
                 .map(|a| {
@@ -74,9 +76,11 @@ pub fn gray_fraction_exact(k: u32, n: u32) -> f64 {
                             }
                         }
                     }
+                    progress.tick(1);
                     h
                 })
                 .sum();
+            progress.finish();
             hits as f64 / (limit * limit * limit) as f64
         }
         _ => panic!("exact enumeration supported for k ≤ 3"),
@@ -90,7 +94,9 @@ mod tests {
     #[test]
     fn paper_values() {
         // §3.1: f₂(½) = 2(1 − ln2) ≈ 0.61, f₃(½) ≈ 0.27.
-        assert!((gray_fraction_closed_form(2) - 2.0 * (1.0 - std::f64::consts::LN_2)).abs() < 1e-12);
+        assert!(
+            (gray_fraction_closed_form(2) - 2.0 * (1.0 - std::f64::consts::LN_2)).abs() < 1e-12
+        );
         assert!((gray_fraction_closed_form(2) - 0.6137).abs() < 5e-4);
         // 4(1 − ln2 − ln²2/2) = 0.26650…, which the paper rounds to 0.27.
         assert!((gray_fraction_closed_form(3) - 0.26650).abs() < 5e-4);
@@ -129,14 +135,20 @@ mod tests {
         let g5 = gray_fraction_exact(3, 5);
         let g6 = gray_fraction_exact(3, 6);
         let g7 = gray_fraction_exact(3, 7);
-        assert!(g5 > g6 && g6 > g7 && g7 > cf3, "{} {} {} vs {}", g5, g6, g7, cf3);
+        assert!(
+            g5 > g6 && g6 > g7 && g7 > cf3,
+            "{} {} {} vs {}",
+            g5,
+            g6,
+            g7,
+            cf3
+        );
         assert!(g7 - cf3 < 0.07, "{} vs {}", g7, cf3);
     }
 
     #[test]
     fn fraction_decreases_with_k() {
-        let vals: Vec<f64> =
-            (1..=10).map(gray_fraction_closed_form).collect();
+        let vals: Vec<f64> = (1..=10).map(gray_fraction_closed_form).collect();
         for w in vals.windows(2) {
             assert!(w[1] < w[0]);
         }

@@ -25,6 +25,8 @@ pub mod two_d;
 
 pub use cover::{Cover2, Cover3};
 pub use exceptions::{constructive_exceptions_up_to, exceptions_up_to};
-pub use gray_fraction::{gray_fraction_closed_form, gray_fraction_exact, gray_fraction_monte_carlo};
+pub use gray_fraction::{
+    gray_fraction_closed_form, gray_fraction_exact, gray_fraction_monte_carlo,
+};
 pub use three_d::{census_3d, ThreeDCensus};
 pub use two_d::{census_2d, TwoDCensus};

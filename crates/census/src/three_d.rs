@@ -3,6 +3,8 @@
 
 use crate::cover::{workspace_catalog, Cover2, Cover3};
 use cubemesh_core::classify::{method1, method2, method3, method4};
+use cubemesh_obs as obs;
+use cubemesh_obs::Progress;
 use rayon::prelude::*;
 
 /// Census results for one `n`.
@@ -56,9 +58,25 @@ fn multiplicity(a: usize, b: usize, c: usize) -> u64 {
 /// permutation-invariant; tested in `cubemesh-core`).
 pub fn census_3d(n: u32) -> ThreeDCensus {
     assert!((1..=9).contains(&n), "paper domain is n = 1..9");
+    let _span = obs::span!("census.3d");
     let limit = 1usize << n;
     let (two, three) = workspace_catalog();
     let c2 = Cover2::build(limit, two);
+
+    // Sorted triples to visit: C(limit + 2, 3); workers tick one slice at
+    // a time, so the reporter's rate is shapes/sec across all threads.
+    let sorted_total = (limit as u64) * (limit as u64 + 1) * (limit as u64 + 2) / 6;
+    let progress = Progress::new("census", sorted_total);
+    // Resolve the per-method counters once; the workers only touch the
+    // (mutex-free) counters themselves when flushing a slice.
+    let method_ctrs = [
+        obs::counter_named("census.method.m1"),
+        obs::counter_named("census.method.m2"),
+        obs::counter_named("census.method.m3"),
+        obs::counter_named("census.method.m4"),
+    ];
+    let uncovered_ctr = obs::counter_named("census.uncovered");
+    let constructive_ctr = obs::counter_named("census.constructive");
 
     let (by_method, uncovered, constructive) = (1..=limit)
         .into_par_iter()
@@ -67,8 +85,10 @@ pub fn census_3d(n: u32) -> ThreeDCensus {
             let mut by = [0u64; 4];
             let mut unc = 0u64;
             let mut cons = 0u64;
+            let mut visited = 0u64;
             for b in a..=limit {
                 for c in b..=limit {
+                    visited += 1;
                     let w = multiplicity(a, b, c);
                     let (x, y, z) = (a as u64, b as u64, c as u64);
                     if method1(x, y, z) {
@@ -87,6 +107,13 @@ pub fn census_3d(n: u32) -> ThreeDCensus {
                     }
                 }
             }
+            // One atomic batch per slice keeps the inner loop metric-free.
+            for (ctr, &n) in method_ctrs.iter().zip(&by) {
+                ctr.add(n);
+            }
+            uncovered_ctr.add(unc);
+            constructive_ctr.add(cons);
+            progress.tick(visited);
             (by, unc, cons)
         })
         .reduce(
@@ -99,9 +126,16 @@ pub fn census_3d(n: u32) -> ThreeDCensus {
             },
         );
 
+    progress.finish();
     let total = (limit as u64).pow(3);
     debug_assert_eq!(by_method.iter().sum::<u64>() + uncovered, total);
-    ThreeDCensus { n, total, by_method, uncovered, constructive }
+    ThreeDCensus {
+        n,
+        total,
+        by_method,
+        uncovered,
+        constructive,
+    }
 }
 
 #[cfg(test)]
@@ -135,8 +169,10 @@ mod tests {
         // 5x5x5, 5x7x7 live in the ≤ 8 domain and fail all methods.
         let c = census_3d(3);
         assert!(c.uncovered > 3, "at least 5x5x5 and 5x7x7 perms");
-        assert!(c.constructive <= c.total - c.uncovered,
-            "constructive can never beat the existence classification");
+        assert!(
+            c.constructive <= c.total - c.uncovered,
+            "constructive can never beat the existence classification"
+        );
     }
 
     #[test]

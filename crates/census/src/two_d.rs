@@ -32,7 +32,11 @@ pub fn census_2d_with(max_nodes: usize, catalog: Vec<CoverEntry>) -> TwoDCensus 
             }
         }
     }
-    TwoDCensus { max_nodes, covered, missed }
+    TwoDCensus {
+        max_nodes,
+        covered,
+        missed,
+    }
 }
 
 /// The paper-faithful census (direct set `{3×5, 7×9, 11×11}`).

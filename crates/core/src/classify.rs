@@ -82,8 +82,7 @@ pub fn method3(l1: u64, l2: u64, l3: u64) -> bool {
         for c in 0..3 {
             let a = (c + 1) % 3;
             let b = (c + 2) % 3;
-            let host =
-                base_host + ext_pow(l[c], d) + ext_pow(l[a], 3) + ext_pow(l[b], 3);
+            let host = base_host + ext_pow(l[c], d) + ext_pow(l[a], 3) + ext_pow(l[b], 3);
             if host == total {
                 return true;
             }
@@ -169,8 +168,8 @@ mod tests {
         assert!(method3(6, 6, 6)); // (3·2)³
         assert!(method3(12, 3, 14)); // 3·4, 3·1, 7·2
         assert!(!method3(5, 5, 5)); // extensions 6x6x6 / 6x6x7 leave Q7
-        // Extension inside the same cube (strategy step 3):
-        // 27x3x3 ⊆ 28x3x3 = (7·4)x3x3, host 6+2 = 8 = ⌈log₂ 243⌉.
+                                    // Extension inside the same cube (strategy step 3):
+                                    // 27x3x3 ⊆ 28x3x3 = (7·4)x3x3, host 6+2 = 8 = ⌈log₂ 243⌉.
         assert!(method3(27, 3, 3));
         assert!(!method2(27, 3, 3));
         assert!(!method4(27, 3, 3));
@@ -202,7 +201,14 @@ mod tests {
 
     #[test]
     fn classification_is_permutation_invariant() {
-        for l in [[5u64, 6, 7], [21, 9, 5], [3, 3, 23], [5, 5, 5], [6, 11, 7], [8, 4, 2]] {
+        for l in [
+            [5u64, 6, 7],
+            [21, 9, 5],
+            [3, 3, 23],
+            [5, 5, 5],
+            [6, 11, 7],
+            [8, 4, 2],
+        ] {
             let all = classify_all_perms(l);
             assert!(all.windows(2).all(|w| w[0] == w[1]), "{:?}: {:?}", l, all);
         }

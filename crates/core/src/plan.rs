@@ -48,9 +48,7 @@ impl Plan {
                     .map(|(e, _)| e.host_dim)
                     .expect("Direct plan for a shape missing from the catalog")
             }
-            Plan::Product { f1, p1, f2, p2 } => {
-                p1.host_dim(f1) + p2.host_dim(f2)
-            }
+            Plan::Product { f1, p1, f2, p2 } => p1.host_dim(f1) + p2.host_dim(f2),
         }
     }
 
@@ -60,9 +58,7 @@ impl Plan {
         match self {
             Plan::Gray => 1,
             Plan::Direct => 2,
-            Plan::Product { p1, p2, .. } => {
-                p1.dilation_bound().max(p2.dilation_bound())
-            }
+            Plan::Product { p1, p2, .. } => p1.dilation_bound().max(p2.dilation_bound()),
         }
     }
 
@@ -71,9 +67,7 @@ impl Plan {
         match self {
             Plan::Gray => 1,
             Plan::Direct => 2,
-            Plan::Product { p1, p2, .. } => {
-                p1.congestion_bound().max(p2.congestion_bound())
-            }
+            Plan::Product { p1, p2, .. } => p1.congestion_bound().max(p2.congestion_bound()),
         }
     }
 
@@ -100,8 +94,7 @@ impl fmt::Display for Plan {
 
 /// Drop length-1 axes; a 0-rank result becomes the 1-node shape `[1]`.
 pub fn reduce(shape: &Shape) -> Shape {
-    let dims: Vec<usize> =
-        shape.dims().iter().copied().filter(|&d| d > 1).collect();
+    let dims: Vec<usize> = shape.dims().iter().copied().filter(|&d| d > 1).collect();
     if dims.is_empty() {
         Shape::new(&[1])
     } else {

@@ -25,6 +25,7 @@
 //! slightly; EXPERIMENTS.md quantifies the gap.
 
 use crate::plan::{reduce, Plan};
+use cubemesh_obs as obs;
 use cubemesh_search::{catalog_entries, catalog_lookup};
 use cubemesh_topology::{cube_dim, Shape};
 use std::collections::HashMap;
@@ -34,7 +35,71 @@ use std::collections::HashMap;
 #[derive(Default)]
 pub struct Planner {
     memo: HashMap<Vec<usize>, Option<Plan>>,
+    /// Current recursion depth (observability only).
+    depth: u32,
+    /// Batched metric tallies, flushed to the global registry once per
+    /// top-level [`plan`](Planner::plan) call. The planner is `&mut self`
+    /// (single-threaded), so plain integers keep the recursion free of
+    /// atomics.
+    stats: PlannerStats,
 }
+
+/// Index names for [`PlannerStats::attempts`] / `hits`.
+mod rule {
+    pub const GRAY: usize = 0;
+    pub const DIRECT: usize = 1;
+    pub const DIRECT_EXT: usize = 2;
+    pub const PEEL_POW2: usize = 3;
+    pub const CATALOG_PRODUCT: usize = 4;
+    pub const PAIR_GRAY: usize = 5;
+    pub const AXIS_SPLIT: usize = 6;
+    pub const BIPARTITION: usize = 7;
+    pub const NAMES: [&str; 8] = [
+        "gray",
+        "direct",
+        "direct_ext",
+        "peel_pow2",
+        "catalog_product",
+        "pair_gray",
+        "axis_split",
+        "bipartition",
+    ];
+}
+
+/// Local tallies mirroring the `planner.*` metrics.
+#[derive(Default)]
+struct PlannerStats {
+    memo_hit: u64,
+    memo_miss: u64,
+    attempts: [u64; 8],
+    hits: [u64; 8],
+    /// Samples of the `planner.depth` histogram: `depth_seen[d]` counts
+    /// recursions entered at depth `d` (clamped to the array).
+    depth_seen: [u64; 32],
+}
+
+/// `planner.rule.<r>.attempt` / `.hit` metric names, index-aligned with
+/// [`rule::NAMES`].
+const ATTEMPT_NAMES: [&str; 8] = [
+    "planner.rule.gray.attempt",
+    "planner.rule.direct.attempt",
+    "planner.rule.direct_ext.attempt",
+    "planner.rule.peel_pow2.attempt",
+    "planner.rule.catalog_product.attempt",
+    "planner.rule.pair_gray.attempt",
+    "planner.rule.axis_split.attempt",
+    "planner.rule.bipartition.attempt",
+];
+const HIT_NAMES: [&str; 8] = [
+    "planner.rule.gray.hit",
+    "planner.rule.direct.hit",
+    "planner.rule.direct_ext.hit",
+    "planner.rule.peel_pow2.hit",
+    "planner.rule.catalog_product.hit",
+    "planner.rule.pair_gray.hit",
+    "planner.rule.axis_split.hit",
+    "planner.rule.bipartition.hit",
+];
 
 impl Planner {
     /// Fresh planner with an empty memo table.
@@ -45,7 +110,13 @@ impl Planner {
     /// Plan a minimal-expansion, dilation-≤2 embedding for `shape`.
     pub fn plan(&mut self, shape: &Shape) -> Option<Plan> {
         let reduced = reduce(shape);
-        self.plan_dims(reduced.dims().to_vec())
+        let result = self.plan_dims(reduced.dims().to_vec());
+        // Rules recurse through `plan` itself; only the outermost call
+        // (depth back at 0) publishes the batched tallies.
+        if self.depth == 0 {
+            self.flush_stats();
+        }
+        result
     }
 
     /// `true` if the planner covers `shape`.
@@ -55,8 +126,10 @@ impl Planner {
 
     fn plan_dims(&mut self, dims: Vec<usize>) -> Option<Plan> {
         if let Some(hit) = self.memo.get(&dims) {
+            self.stats.memo_hit += 1;
             return hit.clone();
         }
+        self.stats.memo_miss += 1;
         // Cycle guard (recursion always shrinks, but stay defensive).
         self.memo.insert(dims.clone(), None);
         let result = self.compute(&dims);
@@ -65,23 +138,76 @@ impl Planner {
     }
 
     fn compute(&mut self, dims: &[usize]) -> Option<Plan> {
+        self.depth += 1;
+        let d = (self.depth as usize).min(self.stats.depth_seen.len() - 1);
+        self.stats.depth_seen[d] += 1;
+        let result = self.compute_rules(dims);
+        self.depth -= 1;
+        result
+    }
+
+    /// Publish and clear the batched tallies. Cheap no-op (one relaxed
+    /// load plus the local reset) while stats are disabled.
+    fn flush_stats(&mut self) {
+        let stats = std::mem::take(&mut self.stats);
+        if !obs::enabled() {
+            return;
+        }
+        // Register hit and miss unconditionally so every snapshot carries
+        // the pair (and thus the derived `planner.memo.hit_rate`).
+        obs::counter!("planner.memo.hit").add(stats.memo_hit);
+        obs::counter!("planner.memo.miss").add(stats.memo_miss);
+        // Registry lookups are mutex-guarded; resolve the 16 rule counters
+        // once and reuse the references on every flush.
+        static RULE_COUNTERS: std::sync::OnceLock<
+            Vec<(&'static obs::Counter, &'static obs::Counter)>,
+        > = std::sync::OnceLock::new();
+        let counters = RULE_COUNTERS.get_or_init(|| {
+            (0..rule::NAMES.len())
+                .map(|i| {
+                    (
+                        obs::counter_named(ATTEMPT_NAMES[i]),
+                        obs::counter_named(HIT_NAMES[i]),
+                    )
+                })
+                .collect()
+        });
+        for (i, (attempt, hit)) in counters.iter().enumerate() {
+            attempt.add(stats.attempts[i]);
+            hit.add(stats.hits[i]);
+        }
+        let depth_hist = obs::histogram!("planner.depth");
+        for (d, &n) in stats.depth_seen.iter().enumerate() {
+            depth_hist.record_n(d as u64, n);
+        }
+    }
+
+    fn compute_rules(&mut self, dims: &[usize]) -> Option<Plan> {
         let shape = Shape::new(dims);
         let total = shape.minimal_cube_dim();
 
         // 1. Gray.
+        self.stats.attempts[rule::GRAY] += 1;
         if shape.gray_is_minimal() {
+            self.stats.hits[rule::GRAY] += 1;
             return Some(Plan::Gray);
         }
         // 2. Direct, exact…
+        self.stats.attempts[rule::DIRECT] += 1;
         if catalog_lookup(&shape).is_some() {
+            self.stats.hits[rule::DIRECT] += 1;
             return Some(Plan::Direct);
         }
         // …or by extension into a catalog shape with the same cube.
+        self.stats.attempts[rule::DIRECT_EXT] += 1;
         if let Some(plan) = self.direct_extension(&shape, total) {
+            self.stats.hits[rule::DIRECT_EXT] += 1;
             return Some(plan);
         }
         // 3. Peel powers of two.
+        self.stats.attempts[rule::PEEL_POW2] += 1;
         if let Some(plan) = self.peel_pow2(&shape, total) {
+            self.stats.hits[rule::PEEL_POW2] += 1;
             return Some(plan);
         }
         match dims.len() {
@@ -146,6 +272,7 @@ impl Planner {
     /// Rank-2 strategy: axis splits `ℓ → ℓ′·ℓ″ ≥ ℓ`.
     fn plan2(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
         let (l1, l2) = (shape.len(0), shape.len(1));
+        self.stats.attempts[rule::AXIS_SPLIT] += 1;
         // Split axis 1: pieces (l1 × ℓ′) and (1 × ℓ″).
         for (axis, la, lm) in [(1usize, l1, l2), (0, l2, l1)] {
             for lp in 2..lm {
@@ -155,6 +282,7 @@ impl Planner {
                 }
                 let piece = Shape::new(&[la, lp]);
                 if let Some(p1) = self.plan(&piece) {
+                    self.stats.hits[rule::AXIS_SPLIT] += 1;
                     let (f1, f2) = if axis == 1 {
                         (Shape::new(&[la, lp]), Shape::new(&[1, ls]))
                     } else {
@@ -178,11 +306,14 @@ impl Planner {
 
         // 4. Catalog entry ⊙ planned factor (exact quotient or Gray
         //    extension).
+        self.stats.attempts[rule::CATALOG_PRODUCT] += 1;
         if let Some(plan) = self.catalog_product3(shape, total) {
+            self.stats.hits[rule::CATALOG_PRODUCT] += 1;
             return Some(plan);
         }
 
         // 5. Pair + Gray third (method 2).
+        self.stats.attempts[rule::PAIR_GRAY] += 1;
         for c in 0..3 {
             let a = (c + 1) % 3;
             let b = (c + 2) % 3;
@@ -191,6 +322,7 @@ impl Planner {
             }
             let pair = Shape::new(&[l[a], l[b]]);
             if let Some(p1) = self.plan(&pair) {
+                self.stats.hits[rule::PAIR_GRAY] += 1;
                 let mut f1 = vec![1usize; 3];
                 f1[a] = l[a];
                 f1[b] = l[b];
@@ -206,22 +338,20 @@ impl Planner {
         }
 
         // 6. Axis split (method 4): ℓⱼ → ℓ′·ℓ″, pieces (la×ℓ′), (ℓ″×lb).
+        self.stats.attempts[rule::AXIS_SPLIT] += 1;
         for j in 0..3 {
             let a = (j + 1) % 3;
             let b = (j + 2) % 3;
             for (a, b) in [(a, b), (b, a)] {
                 for lp in 2..l[j] {
                     let ls = l[j].div_ceil(lp);
-                    if cube_dim((l[a] * lp) as u64) + cube_dim((ls * l[b]) as u64)
-                        != total
-                    {
+                    if cube_dim((l[a] * lp) as u64) + cube_dim((ls * l[b]) as u64) != total {
                         continue;
                     }
                     let piece1 = Shape::new(&[l[a], lp]);
                     let piece2 = Shape::new(&[ls, l[b]]);
-                    if let (Some(p1), Some(p2)) =
-                        (self.plan(&piece1), self.plan(&piece2))
-                    {
+                    if let (Some(p1), Some(p2)) = (self.plan(&piece1), self.plan(&piece2)) {
+                        self.stats.hits[rule::AXIS_SPLIT] += 1;
                         let mut f1 = vec![1usize; 3];
                         f1[a] = l[a];
                         f1[j] = lp;
@@ -250,11 +380,13 @@ impl Planner {
                 continue;
             }
             for perm in PERMS3 {
-                let d = [entry.dims[perm[0]], entry.dims[perm[1]], entry.dims[perm[2]]];
+                let d = [
+                    entry.dims[perm[0]],
+                    entry.dims[perm[1]],
+                    entry.dims[perm[2]],
+                ];
                 // (a) Gray extension: f2ᵢ = 2^{eᵢ}, minimal eᵢ.
-                let e: u32 = (0..3)
-                    .map(|i| cube_dim(l[i].div_ceil(d[i]) as u64))
-                    .sum();
+                let e: u32 = (0..3).map(|i| cube_dim(l[i].div_ceil(d[i]) as u64)).sum();
                 if entry.host_dim + e == total {
                     let f1 = Shape::new(&d);
                     let f2: Vec<usize> = (0..3)
@@ -293,6 +425,7 @@ impl Planner {
         let k = shape.rank();
         let l = shape.dims();
         // Bipartitions of the axis set.
+        self.stats.attempts[rule::BIPARTITION] += 1;
         for mask in 1..(1u32 << k) - 1 {
             let mut g1 = vec![1usize; k];
             let mut g2 = vec![1usize; k];
@@ -311,6 +444,7 @@ impl Planner {
                 continue;
             }
             if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
+                self.stats.hits[rule::BIPARTITION] += 1;
                 return Some(Plan::Product {
                     f1: s1,
                     p1: Box::new(p1),
@@ -320,6 +454,7 @@ impl Planner {
             }
         }
         // Axis splits across bipartitions of the remaining axes.
+        self.stats.attempts[rule::AXIS_SPLIT] += 1;
         for j in 0..k {
             if l[j] < 3 {
                 continue;
@@ -341,12 +476,11 @@ impl Planner {
                     }
                     let s1 = Shape::new(&g1);
                     let s2 = Shape::new(&g2);
-                    if cube_dim(s1.nodes() as u64) + cube_dim(s2.nodes() as u64)
-                        != total
-                    {
+                    if cube_dim(s1.nodes() as u64) + cube_dim(s2.nodes() as u64) != total {
                         continue;
                     }
                     if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
+                        self.stats.hits[rule::AXIS_SPLIT] += 1;
                         return Some(Plan::Product {
                             f1: s1,
                             p1: Box::new(p1),
@@ -485,10 +619,7 @@ mod tests {
         let mut planner = Planner::new();
         assert!(planner.covers(&Shape::new(&[3, 5, 2, 4])));
         assert!(planner.covers(&Shape::new(&[3, 3, 3, 3])));
-        assert_eq!(
-            planner.plan(&Shape::new(&[2, 4, 8, 16])),
-            Some(Plan::Gray)
-        );
+        assert_eq!(planner.plan(&Shape::new(&[2, 4, 8, 16])), Some(Plan::Gray));
     }
 
     #[test]

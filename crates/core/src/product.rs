@@ -88,10 +88,7 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
     for v in 0..n2 {
         let lo = e2.image(v);
         for (i, &(a, b)) in e1.guest_edges().iter().enumerate() {
-            edges.push((
-                (a as usize * n2 + v) as u32,
-                (b as usize * n2 + v) as u32,
-            ));
+            edges.push(((a as usize * n2 + v) as u32, (b as usize * n2 + v) as u32));
             routes.push_iter(e1.routes().route(i).iter().map(|&r| (r << shift) | lo));
         }
     }
@@ -148,7 +145,11 @@ pub fn mesh_product_embedding(
             let l1 = s1.len(i);
             y[i] = z[i] / l1;
             x[i] = z[i] % l1;
-            xr[i] = if y[i].is_multiple_of(2) { x[i] } else { l1 - 1 - x[i] };
+            xr[i] = if y[i].is_multiple_of(2) {
+                x[i]
+            } else {
+                l1 - 1 - x[i]
+            };
         }
     };
 
@@ -182,8 +183,7 @@ pub fn mesh_product_embedding(
                 let ynode = s2.index(&y);
                 let a1 = e1.image(s1.index(&xr));
                 let rid = idx2.id(ynode, axis);
-                routes
-                    .push_iter(e2.routes().route(rid).iter().map(|&r| (r << n1) | a1));
+                routes.push_iter(e2.routes().route(rid).iter().map(|&r| (r << n1) | a1));
             } else {
                 // M₁-type edge within instance y; reflected when y is odd.
                 let a2 = e2.image(s2.index(&y)) << n1;
@@ -191,16 +191,13 @@ pub fn mesh_product_embedding(
                 if y[axis].is_multiple_of(2) {
                     // x' increases along the edge: stored route runs forward.
                     let rid = idx1.id(xnode, axis);
-                    routes
-                        .push_iter(e1.routes().route(rid).iter().map(|&r| a2 | r));
+                    routes.push_iter(e1.routes().route(rid).iter().map(|&r| a2 | r));
                 } else {
                     // x' decreases: the canonical edge starts at x' - 1;
                     // reverse its route.
                     let s1_stride: usize = s1.dims()[axis + 1..].iter().product();
                     let rid = idx1.id(xnode - s1_stride, axis);
-                    routes.push_iter(
-                        e1.routes().route(rid).iter().rev().map(|&r| a2 | r),
-                    );
+                    routes.push_iter(e1.routes().route(rid).iter().rev().map(|&r| a2 | r));
                 }
             }
         }

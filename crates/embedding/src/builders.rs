@@ -62,8 +62,10 @@ pub fn gray_mesh_embedding(shape: &Shape) -> Embedding {
     let layout = AxisLayout::from_shape(shape);
     let host = Hypercube::new(layout.total_dim());
     let mesh = Mesh::new(shape.clone());
-    let map: Vec<u64> =
-        shape.iter_coords().map(|c| gray_mesh_address(&layout, &c)).collect();
+    let map: Vec<u64> = shape
+        .iter_coords()
+        .map(|c| gray_mesh_address(&layout, &c))
+        .collect();
     let edges = mesh_edge_list(&mesh);
     let mut routes = RouteSet::with_capacity(edges.len(), edges.len() * 2);
     for &(u, v) in &edges {

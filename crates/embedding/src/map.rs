@@ -36,7 +36,13 @@ impl Embedding {
     ) -> Self {
         assert_eq!(map.len(), guest_nodes, "map length != node count");
         assert_eq!(routes.len(), guest_edges.len(), "route count != edge count");
-        Embedding { guest_nodes, guest_edges, host, map, routes }
+        Embedding {
+            guest_nodes,
+            guest_edges,
+            host,
+            map,
+            routes,
+        }
     }
 
     /// Number of guest nodes.
@@ -111,7 +117,13 @@ impl Embedding {
 
     /// Decompose into parts (used by composition code in `cubemesh-core`).
     pub fn into_parts(self) -> (usize, Vec<(u32, u32)>, Hypercube, Vec<u64>, RouteSet) {
-        (self.guest_nodes, self.guest_edges, self.host, self.map, self.routes)
+        (
+            self.guest_nodes,
+            self.guest_edges,
+            self.host,
+            self.map,
+            self.routes,
+        )
     }
 }
 
@@ -146,6 +158,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn mismatched_routes_rejected() {
-        Embedding::new(2, vec![(0, 1)], Hypercube::new(1), vec![0, 1], RouteSet::new());
+        Embedding::new(
+            2,
+            vec![(0, 1)],
+            Hypercube::new(1),
+            vec![0, 1],
+            RouteSet::new(),
+        );
     }
 }

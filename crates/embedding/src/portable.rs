@@ -60,12 +60,8 @@ fn bad(msg: &str) -> io::Error {
 /// source is untrusted.
 pub fn read_embedding(r: &mut impl BufRead) -> io::Result<Embedding> {
     let mut lines = r.lines();
-    let mut next_line = || -> io::Result<String> {
-        lines
-            .next()
-            .ok_or_else(|| bad("unexpected end of file"))?
-            .map_err(io::Error::from)
-    };
+    let mut next_line =
+        || -> io::Result<String> { lines.next().ok_or_else(|| bad("unexpected end of file"))? };
 
     if next_line()?.trim() != MAGIC {
         return Err(bad("not a cubemesh-embedding v1 file"));
@@ -103,11 +99,10 @@ pub fn read_embedding(r: &mut impl BufRead) -> io::Result<Embedding> {
         .split_whitespace()
         .map(|t| t.parse().map_err(|_| bad("bad edge entry")))
         .collect::<io::Result<_>>()?;
-    if flat.len() % 2 != 0 {
+    if !flat.len().is_multiple_of(2) {
         return Err(bad("odd edge list"));
     }
-    let edges: Vec<(u32, u32)> =
-        flat.chunks(2).map(|c| (c[0], c[1])).collect();
+    let edges: Vec<(u32, u32)> = flat.chunks(2).map(|c| (c[0], c[1])).collect();
 
     let mut routes = RouteSet::with_capacity(edges.len(), edges.len() * 2);
     loop {
@@ -116,7 +111,9 @@ pub fn read_embedding(r: &mut impl BufRead) -> io::Result<Embedding> {
         if line == "end" {
             break;
         }
-        let body = line.strip_prefix("route").ok_or_else(|| bad("expected route"))?;
+        let body = line
+            .strip_prefix("route")
+            .ok_or_else(|| bad("expected route"))?;
         let path: Vec<u64> = body
             .split_whitespace()
             .map(|t| t.parse().map_err(|_| bad("bad route entry")))
@@ -161,8 +158,7 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_embedding(&mut "nope".as_bytes()).is_err());
         let mut buf = Vec::new();
-        write_embedding(&gray_mesh_embedding(&Shape::new(&[2, 2])), &mut buf)
-            .unwrap();
+        write_embedding(&gray_mesh_embedding(&Shape::new(&[2, 2])), &mut buf).unwrap();
         // Truncate: drop the trailing "end".
         let txt = String::from_utf8(buf).unwrap();
         let cut = txt.rsplit_once("end").unwrap().0;

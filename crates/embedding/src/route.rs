@@ -17,7 +17,10 @@ pub struct RouteSet {
 impl RouteSet {
     /// An empty route set.
     pub fn new() -> Self {
-        RouteSet { offsets: vec![0], nodes: Vec::new() }
+        RouteSet {
+            offsets: vec![0],
+            nodes: Vec::new(),
+        }
     }
 
     /// Pre-allocate for `edges` routes totalling about `total_nodes` path
@@ -25,7 +28,10 @@ impl RouteSet {
     pub fn with_capacity(edges: usize, total_nodes: usize) -> Self {
         let mut offsets = Vec::with_capacity(edges + 1);
         offsets.push(0);
-        RouteSet { offsets, nodes: Vec::with_capacity(total_nodes) }
+        RouteSet {
+            offsets,
+            nodes: Vec::with_capacity(total_nodes),
+        }
     }
 
     /// Append a route (full node path, endpoints included). Returns its

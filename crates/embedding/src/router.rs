@@ -14,6 +14,7 @@
 //!   congestion-2 routings for its dilation-2 embeddings.
 
 use crate::route::RouteSet;
+use cubemesh_obs as obs;
 use cubemesh_topology::{hamming, Hypercube};
 use std::collections::HashMap;
 
@@ -115,18 +116,13 @@ pub fn route_all(
             }
             rs
         }
-        RouteStrategy::Balanced { passes } => {
-            balanced_routes(map, edges, host, passes)
-        }
+        RouteStrategy::Balanced { passes } => balanced_routes(map, edges, host, passes),
     }
 }
 
-fn balanced_routes(
-    map: &[u64],
-    edges: &[(u32, u32)],
-    host: Hypercube,
-    passes: usize,
-) -> RouteSet {
+fn balanced_routes(map: &[u64], edges: &[(u32, u32)], host: Hypercube, passes: usize) -> RouteSet {
+    let _span = obs::span!("router.balanced");
+    obs::counter!("router.balanced.calls").inc();
     // Congestion counters on host edges, sparse.
     let mut load: HashMap<usize, u32> = HashMap::new();
     let mut chosen: Vec<Vec<u64>> = Vec::with_capacity(edges.len());
@@ -151,6 +147,7 @@ fn balanced_routes(
 
     // Improvement passes: tear out and re-route each edge.
     for _ in 0..passes {
+        obs::counter!("router.balanced.passes").inc();
         let mut improved = false;
         for i in 0..chosen.len() {
             let (u, v) = edges[i];
@@ -161,6 +158,7 @@ fn balanced_routes(
             let cand_cost = path_cost_after_insert(&candidate, &load, host);
             let old_cost = path_cost_after_insert(&chosen[i], &load, host);
             if cand_cost < old_cost {
+                obs::counter!("router.balanced.improvements").inc();
                 chosen[i] = candidate;
                 improved = true;
             }
@@ -177,6 +175,7 @@ fn balanced_routes(
     let balanced_worst = load.values().copied().max().unwrap_or(0);
     let canonical = route_all(map, edges, host, RouteStrategy::Canonical);
     let canonical_worst = max_edge_congestion(&canonical, host);
+    obs::histogram!("router.congestion").record(balanced_worst.min(canonical_worst) as u64);
     if canonical_worst < balanced_worst {
         return canonical;
     }
@@ -205,11 +204,7 @@ fn max_edge_congestion(routes: &RouteSet, host: Hypercube) -> u32 {
 }
 
 /// Max congestion along `path` if it were added on top of current loads.
-fn path_cost_after_insert(
-    path: &[u64],
-    load: &HashMap<usize, u32>,
-    host: Hypercube,
-) -> u32 {
+fn path_cost_after_insert(path: &[u64], load: &HashMap<usize, u32>, host: Hypercube) -> u32 {
     path.windows(2)
         .map(|w| {
             let bit = (w[0] ^ w[1]).trailing_zeros();
@@ -236,7 +231,11 @@ fn best_path(a: u64, b: u64, load: &HashMap<usize, u32>, host: Hypercube) -> Vec
             worst = worst.max(l);
             total += l as u64;
         }
-        if best.as_ref().map(|(bw, bt, _)| (worst, total) < (*bw, *bt)).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(bw, bt, _)| (worst, total) < (*bw, *bt))
+            .unwrap_or(true)
+        {
             best = Some((worst, total, path));
         }
     }
@@ -311,7 +310,10 @@ mod tests {
                 (a as u32, b as u32)
             })
             .collect();
-        for strategy in [RouteStrategy::Canonical, RouteStrategy::Balanced { passes: 3 }] {
+        for strategy in [
+            RouteStrategy::Canonical,
+            RouteStrategy::Balanced { passes: 3 },
+        ] {
             let rs = route_all(&map, &edges, host, strategy);
             let emb = Embedding::new(mesh.nodes(), edges.clone(), host, map.clone(), rs);
             emb.verify().unwrap();

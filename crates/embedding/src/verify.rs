@@ -14,15 +14,32 @@ pub enum VerifyError {
     /// A mapped address does not fit in the host cube.
     AddressOutOfRange { node: usize, address: u64 },
     /// Two guest nodes share a host address (the map is not one-to-one).
-    NotInjective { node_a: usize, node_b: usize, address: u64 },
+    NotInjective {
+        node_a: usize,
+        node_b: usize,
+        address: u64,
+    },
     /// A guest edge index is out of range.
     EdgeOutOfRange { edge: usize },
     /// A route does not start at the image of its edge's first endpoint.
-    RouteStartMismatch { edge: usize, expected: u64, found: u64 },
+    RouteStartMismatch {
+        edge: usize,
+        expected: u64,
+        found: u64,
+    },
     /// A route does not end at the image of its edge's second endpoint.
-    RouteEndMismatch { edge: usize, expected: u64, found: u64 },
+    RouteEndMismatch {
+        edge: usize,
+        expected: u64,
+        found: u64,
+    },
     /// Two consecutive route nodes are not cube neighbors.
-    RouteStepNotAdjacent { edge: usize, step: usize, from: u64, to: u64 },
+    RouteStepNotAdjacent {
+        edge: usize,
+        step: usize,
+        from: u64,
+        to: u64,
+    },
     /// A route visits the same cube node twice (routes must be simple
     /// paths; Definition 2 measures dilation as the path length, which is
     /// only meaningful for simple paths).
@@ -37,22 +54,33 @@ impl fmt::Display for VerifyError {
             VerifyError::AddressOutOfRange { node, address } => {
                 write!(f, "node {node} maps to {address:#x}, outside the host cube")
             }
-            VerifyError::NotInjective { node_a, node_b, address } => write!(
-                f,
-                "nodes {node_a} and {node_b} both map to {address:#x}"
-            ),
+            VerifyError::NotInjective {
+                node_a,
+                node_b,
+                address,
+            } => write!(f, "nodes {node_a} and {node_b} both map to {address:#x}"),
             VerifyError::EdgeOutOfRange { edge } => {
                 write!(f, "edge {edge} references a node out of range")
             }
-            VerifyError::RouteStartMismatch { edge, expected, found } => write!(
+            VerifyError::RouteStartMismatch {
+                edge,
+                expected,
+                found,
+            } => write!(
                 f,
                 "route {edge} starts at {found:#x}, expected {expected:#x}"
             ),
-            VerifyError::RouteEndMismatch { edge, expected, found } => write!(
-                f,
-                "route {edge} ends at {found:#x}, expected {expected:#x}"
-            ),
-            VerifyError::RouteStepNotAdjacent { edge, step, from, to } => write!(
+            VerifyError::RouteEndMismatch {
+                edge,
+                expected,
+                found,
+            } => write!(f, "route {edge} ends at {found:#x}, expected {expected:#x}"),
+            VerifyError::RouteStepNotAdjacent {
+                edge,
+                step,
+                from,
+                to,
+            } => write!(
                 f,
                 "route {edge} step {step}: {from:#x} -> {to:#x} is not a cube edge"
             ),
@@ -71,8 +99,7 @@ impl std::error::Error for VerifyError {}
 /// Validate an embedding end to end. See [`VerifyError`] for the checks.
 pub fn verify_embedding(e: &Embedding) -> Result<(), VerifyError> {
     // Injectivity, by sorting (address, node) pairs.
-    let mut pairs: Vec<(u64, usize)> =
-        e.map().iter().enumerate().map(|(v, &a)| (a, v)).collect();
+    let mut pairs: Vec<(u64, usize)> = e.map().iter().enumerate().map(|(v, &a)| (a, v)).collect();
     pairs.sort_unstable();
     for w in pairs.windows(2) {
         if w[0].0 == w[1].0 {
@@ -94,7 +121,10 @@ pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
     // Address ranges.
     for (node, &addr) in e.map().iter().enumerate() {
         if !host.contains(addr) {
-            return Err(VerifyError::AddressOutOfRange { node, address: addr });
+            return Err(VerifyError::AddressOutOfRange {
+                node,
+                address: addr,
+            });
         }
     }
     // Routes.
@@ -133,10 +163,16 @@ pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
         }
         for &addr in route {
             if !host.contains(addr) {
-                return Err(VerifyError::RouteOutOfRange { edge: i, address: addr });
+                return Err(VerifyError::RouteOutOfRange {
+                    edge: i,
+                    address: addr,
+                });
             }
             if seen.contains(&addr) {
-                return Err(VerifyError::RouteNotSimple { edge: i, address: addr });
+                return Err(VerifyError::RouteNotSimple {
+                    edge: i,
+                    address: addr,
+                });
             }
             seen.push(addr);
         }
@@ -177,15 +213,24 @@ mod tests {
     #[test]
     fn detects_out_of_range_address() {
         let e = build(vec![0, 9], vec![], vec![]);
-        assert!(matches!(e.verify(), Err(VerifyError::AddressOutOfRange { node: 1, .. })));
+        assert!(matches!(
+            e.verify(),
+            Err(VerifyError::AddressOutOfRange { node: 1, .. })
+        ));
     }
 
     #[test]
     fn detects_route_endpoint_mismatch() {
         let e = build(vec![0, 1], vec![(0, 1)], vec![vec![0, 2]]);
-        assert!(matches!(e.verify(), Err(VerifyError::RouteEndMismatch { .. })));
+        assert!(matches!(
+            e.verify(),
+            Err(VerifyError::RouteEndMismatch { .. })
+        ));
         let e = build(vec![0, 1], vec![(0, 1)], vec![vec![2, 1]]);
-        assert!(matches!(e.verify(), Err(VerifyError::RouteStartMismatch { .. })));
+        assert!(matches!(
+            e.verify(),
+            Err(VerifyError::RouteStartMismatch { .. })
+        ));
     }
 
     #[test]
@@ -199,11 +244,10 @@ mod tests {
 
     #[test]
     fn detects_non_simple_route() {
-        let e = build(
-            vec![0, 1],
-            vec![(0, 1)],
-            vec![vec![0, 2, 0, 1]],
-        );
-        assert!(matches!(e.verify(), Err(VerifyError::RouteNotSimple { .. })));
+        let e = build(vec![0, 1], vec![(0, 1)], vec![vec![0, 2, 0, 1]]);
+        assert!(matches!(
+            e.verify(),
+            Err(VerifyError::RouteNotSimple { .. })
+        ));
     }
 }

@@ -20,8 +20,7 @@ pub struct AxisLayout {
 impl AxisLayout {
     /// Layout with the minimal Gray-code widths `nᵢ = ⌈log₂ ℓᵢ⌉`.
     pub fn from_shape(shape: &Shape) -> Self {
-        let widths: Vec<u32> =
-            shape.dims().iter().map(|&d| cube_dim(d as u64)).collect();
+        let widths: Vec<u32> = shape.dims().iter().map(|&d| cube_dim(d as u64)).collect();
         Self::with_widths(&widths)
     }
 
@@ -36,7 +35,11 @@ impl AxisLayout {
             offsets[i] = acc;
             acc += widths[i];
         }
-        AxisLayout { widths: widths.to_vec(), offsets, total }
+        AxisLayout {
+            widths: widths.to_vec(),
+            offsets,
+            total,
+        }
     }
 
     /// Total cube dimension `Σ nᵢ`.
@@ -194,8 +197,7 @@ mod tests {
                     if c[axis] + 1 < shape.len(axis) {
                         let mut d = c.clone();
                         d[axis] += 1;
-                        let there =
-                            gray_mesh_address_reflected(&layout, &d, &reflect);
+                        let there = gray_mesh_address_reflected(&layout, &d, &reflect);
                         assert_eq!(hamming(here, there), 1);
                     }
                 }

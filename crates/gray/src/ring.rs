@@ -25,7 +25,10 @@ pub fn even_ring_code(p: usize, len: usize) -> u64 {
         assert_eq!(p, 0);
         return 0;
     }
-    assert!(len.is_multiple_of(2), "dilation-one ring codes exist only for even lengths");
+    assert!(
+        len.is_multiple_of(2),
+        "dilation-one ring codes exist only for even lengths"
+    );
     assert!(p < len);
     let half = (len / 2) as u64;
     let n = cube_dim(len as u64);

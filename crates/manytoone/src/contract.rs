@@ -76,9 +76,7 @@ pub fn contract(base_shape: &Shape, base: &Embedding, factors: &[usize]) -> Embe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemesh_embedding::{
-        gray_mesh_embedding, load_factor, verify_many_to_one,
-    };
+    use cubemesh_embedding::{gray_mesh_embedding, load_factor, verify_many_to_one};
 
     #[test]
     fn corollary4_gray_contraction() {

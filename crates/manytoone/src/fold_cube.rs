@@ -68,14 +68,11 @@ pub fn corollary5(shape: &Shape, n: u32) -> Option<Embedding> {
             let lprime: Vec<usize> = (0..k)
                 .map(|i| shape.len(i).div_ceil(1usize << chosen[i]))
                 .collect();
-            let covered: u64 = (0..k)
-                .map(|i| (lprime[i] as u64) << chosen[i])
-                .product();
+            let covered: u64 = (0..k).map(|i| (lprime[i] as u64) << chosen[i]).product();
             if ceil_pow2(covered) != target {
                 continue;
             }
-            let load: u64 = lprime.iter().map(|&f| f as u64).product::<u64>()
-                << (total_n - n);
+            let load: u64 = lprime.iter().map(|&f| f as u64).product::<u64>() << (total_n - n);
             if best.as_ref().map(|(b, ..)| load < *b).unwrap_or(true) {
                 best = Some((load, chosen, lprime));
             }
@@ -89,9 +86,7 @@ pub fn corollary5(shape: &Shape, n: u32) -> Option<Embedding> {
     }
 
     let (_, ns, lprime) = best?;
-    let base_shape = Shape::new(
-        &ns.iter().map(|&ni| 1usize << ni).collect::<Vec<_>>(),
-    );
+    let base_shape = Shape::new(&ns.iter().map(|&ni| 1usize << ni).collect::<Vec<_>>());
     let base = gray_mesh_embedding(&base_shape);
     let contracted = contract(&base_shape, &base, &lprime);
     let big_shape = base_shape.product(&Shape::new(&lprime));
@@ -154,8 +149,7 @@ mod tests {
                 let m = emb.metrics();
                 assert_eq!(m.dilation, 1, "{:?}", dims);
                 let lf = load_factor(emb.map(), emb.host()) as u64;
-                let optimal =
-                    (shape.nodes() as u64).div_ceil(1u64 << n);
+                let optimal = (shape.nodes() as u64).div_ceil(1u64 << n);
                 assert!(
                     lf <= 2 * optimal,
                     "{:?}: load {} > 2x optimal {}",

@@ -22,6 +22,4 @@ pub mod workload;
 
 pub use routing::ecube_path;
 pub use sim::{simulate, simulate_with, Message, SimResult, Switching};
-pub use workload::{
-    all_axis_shifts, axis_shift, random_permutation, stencil_exchange, transpose,
-};
+pub use workload::{all_axis_shifts, axis_shift, random_permutation, stencil_exchange, transpose};

@@ -1,5 +1,6 @@
 //! The discrete-event store-and-forward engine.
 
+use cubemesh_obs as obs;
 use cubemesh_topology::Hypercube;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -20,7 +21,11 @@ pub struct Message {
 impl Message {
     /// A message over `path` of `size` flits injected at cycle 0.
     pub fn new(path: Vec<u64>, size: u32) -> Self {
-        Message { path, size, start: 0 }
+        Message {
+            path,
+            size,
+            start: 0,
+        }
     }
 }
 
@@ -37,6 +42,30 @@ pub struct SimResult {
     pub max_link_cycles: u64,
     /// Number of messages delivered.
     pub delivered: usize,
+    /// High-water mark of messages queued behind one link (0 = no message
+    /// ever waited).
+    pub max_queue_depth: u64,
+    /// Largest single-message latency (arrival − injection).
+    pub max_latency: u64,
+}
+
+impl SimResult {
+    /// Serialize as a single-line JSON object (stable field names; used by
+    /// the CLI `simulate` command and `figures netsim`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"makespan\":{},\"total_link_cycles\":{},\"avg_latency\":{:.6},\
+             \"max_link_cycles\":{},\"delivered\":{},\"max_queue_depth\":{},\
+             \"max_latency\":{}}}",
+            self.makespan,
+            self.total_link_cycles,
+            self.avg_latency,
+            self.max_link_cycles,
+            self.delivered,
+            self.max_queue_depth,
+            self.max_latency,
+        )
+    }
 }
 
 /// Switching discipline for [`simulate_with`].
@@ -64,11 +93,8 @@ pub fn simulate(host: Hypercube, messages: &[Message]) -> SimResult {
 }
 
 /// Run the simulation under the given switching discipline.
-pub fn simulate_with(
-    host: Hypercube,
-    messages: &[Message],
-    switching: Switching,
-) -> SimResult {
+pub fn simulate_with(host: Hypercube, messages: &[Message], switching: Switching) -> SimResult {
+    let _span = obs::span!("netsim.sim");
     // Event: (ready_time, msg_id) — message msg_id is at hop `hops[msg_id]`
     // ready to request its next link at ready_time.
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -79,7 +105,11 @@ pub fn simulate_with(
     let mut latency_sum = 0u64;
     let mut makespan = 0u64;
     let mut delivered = 0usize;
+    let mut max_queue_depth = 0u64;
+    let mut max_latency = 0u64;
     let mut link_load: HashMap<u64, u64> = HashMap::new();
+    let latency_hist = obs::histogram!("netsim.latency");
+    let queue_hist = obs::histogram!("netsim.queue.depth");
 
     for (id, m) in messages.iter().enumerate() {
         debug_assert!(m.path.windows(2).all(|w| {
@@ -96,7 +126,10 @@ pub fn simulate_with(
         if h + 1 >= m.path.len() {
             // Arrived.
             let arrival = t;
-            latency_sum += arrival - m.start;
+            let latency = arrival - m.start;
+            latency_sum += latency;
+            max_latency = max_latency.max(latency);
+            latency_hist.record(latency);
             makespan = makespan.max(arrival);
             delivered += 1;
             continue;
@@ -108,6 +141,13 @@ pub fn simulate_with(
         let link = (host.edge_index(a, bit) as u64) << 1 | dir;
         let free = busy.get(&link).copied().unwrap_or(0);
         let begin = free.max(t);
+        // Queue depth at request time: whole messages still ahead of us on
+        // this link (each holds it for `size` cycles).
+        if free > t && m.size > 0 {
+            let depth = (free - t).div_ceil(m.size as u64);
+            max_queue_depth = max_queue_depth.max(depth);
+            queue_hist.record(depth);
+        }
         let end = begin + m.size as u64;
         busy.insert(link, end);
         *link_load.entry(link).or_insert(0) += m.size as u64;
@@ -130,6 +170,13 @@ pub fn simulate_with(
         heap.push(Reverse((next_event, id)));
     }
 
+    if obs::enabled() {
+        let occupancy = obs::histogram!("netsim.link.occupancy");
+        for &cycles in link_load.values() {
+            occupancy.record(cycles);
+        }
+    }
+
     SimResult {
         makespan,
         total_link_cycles,
@@ -140,6 +187,8 @@ pub fn simulate_with(
         },
         max_link_cycles: link_load.values().copied().max().unwrap_or(0),
         delivered,
+        max_queue_depth,
+        max_latency,
     }
 }
 
@@ -161,8 +210,7 @@ mod tests {
     fn contention_serializes() {
         // Two messages over the same single link: second waits.
         let host = Hypercube::new(1);
-        let msgs =
-            vec![Message::new(vec![0, 1], 10), Message::new(vec![0, 1], 10)];
+        let msgs = vec![Message::new(vec![0, 1], 10), Message::new(vec![0, 1], 10)];
         let r = simulate(host, &msgs);
         assert_eq!(r.makespan, 20);
         assert_eq!(r.max_link_cycles, 20);
@@ -171,8 +219,7 @@ mod tests {
     #[test]
     fn opposite_directions_do_not_contend() {
         let host = Hypercube::new(1);
-        let msgs =
-            vec![Message::new(vec![0, 1], 10), Message::new(vec![1, 0], 10)];
+        let msgs = vec![Message::new(vec![0, 1], 10), Message::new(vec![1, 0], 10)];
         let r = simulate(host, &msgs);
         assert_eq!(r.makespan, 10, "full-duplex links");
     }

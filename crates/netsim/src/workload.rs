@@ -54,11 +54,7 @@ pub fn all_axis_shifts(
 /// `(j, i)`, routed e-cube between the mapped addresses. Exercises paths
 /// the embedding did not optimize for — a stress counterpart to the
 /// nearest-neighbor workloads.
-pub fn transpose(
-    emb: &Embedding,
-    shape: &cubemesh_topology::Shape,
-    flits: u32,
-) -> Vec<Message> {
+pub fn transpose(emb: &Embedding, shape: &cubemesh_topology::Shape, flits: u32) -> Vec<Message> {
     assert_eq!(shape.rank(), 2, "transpose is a 2-D workload");
     let mut msgs = Vec::new();
     for c in shape.iter_coords() {

@@ -1,0 +1,144 @@
+//! Process-global named-metric registry.
+//!
+//! Metrics are leaked `&'static` so instrumented call sites can cache the
+//! pointer in a `OnceLock` (see the [`counter!`](crate::counter),
+//! [`histogram!`](crate::histogram) and [`span!`](crate::span) macros)
+//! and never touch the registry lock again after first use. The lock is
+//! only taken on first registration per call site and on snapshot.
+
+use crate::metrics::{Counter, Histogram};
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The name → metric maps behind the global registry.
+#[derive(Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+fn global() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Look up (or create) the counter registered under `name`. Names are
+/// interned: a `&str` with a non-static lifetime is leaked once on first
+/// registration.
+pub fn counter_named(name: &str) -> &'static Counter {
+    let mut reg = global().lock().unwrap();
+    if let Some(c) = reg.counters.get(name) {
+        return c;
+    }
+    let name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    reg.counters.insert(name, c);
+    c
+}
+
+/// Look up (or create) the histogram registered under `name`.
+pub fn histogram_named(name: &str) -> &'static Histogram {
+    let mut reg = global().lock().unwrap();
+    if let Some(h) = reg.histograms.get(name) {
+        return h;
+    }
+    let name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    reg.histograms.insert(name, h);
+    h
+}
+
+/// Merge-on-snapshot: read every registered metric into an owned
+/// [`Snapshot`] (counters sum their shards here).
+pub fn snapshot() -> Snapshot {
+    let reg = global().lock().unwrap();
+    Snapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(&name, c)| (name.to_owned(), c.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(&name, h)| (name.to_owned(), h.snapshot()))
+            .collect(),
+    }
+}
+
+/// Zero every registered metric. Metrics stay registered (the `&'static`
+/// pointers cached at call sites remain valid). Test/bench support.
+pub fn reset() {
+    let reg = global().lock().unwrap();
+    for c in reg.counters.values() {
+        c.reset();
+    }
+    for h in reg.histograms.values() {
+        h.reset();
+    }
+}
+
+/// A named global [`Counter`](crate::Counter), resolved once per call
+/// site then cached.
+///
+/// ```
+/// cubemesh_obs::set_enabled(true);
+/// cubemesh_obs::counter!("example.hits").inc();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __SITE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *__SITE.get_or_init(|| $crate::counter_named($name))
+    }};
+}
+
+/// A named global [`Histogram`](crate::Histogram), resolved once per
+/// call site then cached.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __SITE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *__SITE.get_or_init(|| $crate::histogram_named($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_round_trip() {
+        let _g = crate::testutil::guard();
+        crate::set_enabled(true);
+        crate::counter!("reg.test.a").add(3);
+        crate::histogram!("reg.test.h").record(12);
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter("reg.test.a"), Some(3));
+        assert_eq!(snap.histogram("reg.test.h").unwrap().count, 1);
+        // Same name → same metric.
+        crate::counter_named("reg.test.a").inc();
+        assert_eq!(crate::snapshot().counter("reg.test.a"), Some(4));
+        crate::reset();
+        assert_eq!(crate::snapshot().counter("reg.test.a"), Some(0));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn merge_on_snapshot_across_threads() {
+        let _g = crate::testutil::guard();
+        crate::set_enabled(true);
+        let c = crate::counter_named("reg.test.par");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(crate::snapshot().counter("reg.test.par"), Some(4000));
+        crate::reset();
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,129 @@
+//! RAII span timers with a thread-local span stack.
+//!
+//! A [`SpanTimer`] measures the wall-clock time between its construction
+//! and drop and records the elapsed nanoseconds into a histogram named
+//! `span.<path>`, where `<path>` is the `/`-joined chain of enclosing
+//! span names on the current thread (`span.plan/route`, say). Paths are
+//! interned so steady-state recording does not allocate.
+
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Resolve the histogram for a span path (exposed for tests; spans
+/// record under `span.<path>`).
+pub fn span_histogram_named(path: &str) -> &'static Histogram {
+    crate::histogram_named(&format!("span.{path}"))
+}
+
+/// An RAII wall-clock timer. Construct with [`SpanTimer::new`] (or the
+/// [`span!`](crate::span) macro); the elapsed time is recorded when the
+/// value drops. Inert (records nothing, tracks no stack) while stats are
+/// disabled.
+pub struct SpanTimer {
+    start: Option<Instant>,
+    hist: Option<&'static Histogram>,
+}
+
+impl SpanTimer {
+    /// Open a span named `name`. The name must be a string literal (or
+    /// otherwise `'static`) so stack frames never allocate.
+    pub fn new(name: &'static str) -> SpanTimer {
+        if !crate::enabled() {
+            return SpanTimer {
+                start: None,
+                hist: None,
+            };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        SpanTimer {
+            start: Some(Instant::now()),
+            hist: Some(crate::histogram_named(&format!("span.{path}"))),
+        }
+    }
+
+    /// Elapsed time so far, if the span is live.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let (Some(start), Some(hist)) = (self.start, self.hist) {
+            hist.record(start.elapsed().as_nanos() as u64);
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Open an RAII [`SpanTimer`](crate::SpanTimer); bind it to keep the
+/// span open for a scope:
+///
+/// ```
+/// cubemesh_obs::set_enabled(true);
+/// {
+///     let _outer = cubemesh_obs::span!("doc_outer");
+///     let _inner = cubemesh_obs::span!("doc_inner"); // records span.doc_outer/doc_inner
+/// }
+/// cubemesh_obs::set_enabled(false);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanTimer::new($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nesting_builds_paths() {
+        let _g = crate::testutil::guard();
+        crate::set_enabled(true);
+        {
+            let _a = crate::span!("span_test_outer");
+            {
+                let _b = crate::span!("span_test_inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let snap = crate::snapshot();
+        let outer = snap
+            .histogram("span.span_test_outer")
+            .expect("outer span recorded");
+        let inner = snap
+            .histogram("span.span_test_outer/span_test_inner")
+            .expect("nested span path recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.max >= inner.max, "outer encloses inner");
+        assert!(inner.min >= 1_000_000, "slept ≥ 1ms");
+        crate::reset();
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = crate::testutil::guard();
+        crate::set_enabled(false);
+        {
+            let t = crate::span!("span_test_disabled");
+            assert!(t.elapsed_ns().is_none());
+        }
+        assert!(crate::snapshot()
+            .histogram("span.span_test_disabled")
+            .is_none());
+    }
+}

@@ -23,7 +23,11 @@ pub fn snake_position(shape: &Shape, coords: &[usize]) -> usize {
     let mut parity = 0usize;
     for (axis, &c) in coords.iter().enumerate() {
         let len = shape.len(axis);
-        let eff = if parity.is_multiple_of(2) { c } else { len - 1 - c };
+        let eff = if parity.is_multiple_of(2) {
+            c
+        } else {
+            len - 1 - c
+        };
         pos = pos * len + eff;
         parity += eff;
     }
@@ -79,11 +83,7 @@ mod tests {
                 by_pos[p] = c;
             }
             for w in by_pos.windows(2) {
-                let diff: usize = w[0]
-                    .iter()
-                    .zip(&w[1])
-                    .map(|(a, b)| a.abs_diff(*b))
-                    .sum();
+                let diff: usize = w[0].iter().zip(&w[1]).map(|(a, b)| a.abs_diff(*b)).sum();
                 assert_eq!(diff, 1, "positions {:?} -> {:?}", w[0], w[1]);
             }
         }

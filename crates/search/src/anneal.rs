@@ -12,6 +12,7 @@
 //! a node to a free address or swap two nodes, biased toward endpoints of
 //! violated edges. `E(φ) = 0` is exactly a dilation-`D` embedding.
 
+use cubemesh_obs as obs;
 use cubemesh_topology::{hamming, Graph, Hypercube};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -59,6 +60,21 @@ pub enum AnnealOutcome {
 
 /// Run simulated annealing. Deterministic for a fixed config.
 pub fn anneal(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
+    let _span = obs::span!("search.anneal");
+    let outcome = anneal_inner(guest, cfg);
+    match &outcome {
+        AnnealOutcome::Found(_) => {
+            obs::counter!("search.anneal.found").inc();
+            obs::histogram!("search.anneal.energy").record(0);
+        }
+        AnnealOutcome::Best { energy, .. } => {
+            obs::histogram!("search.anneal.energy").record(*energy);
+        }
+    }
+    outcome
+}
+
+fn anneal_inner(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
     let n = guest.nodes();
     let host = Hypercube::new(cfg.host_dim);
     let host_nodes = host.nodes() as usize;
@@ -76,9 +92,8 @@ pub fn anneal(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
         occupant[a as usize] = v as u32 + 1;
     }
 
-    let edge_excess = |a: u64, b: u64| -> u64 {
-        (hamming(a, b) as u64).saturating_sub(cfg.max_dilation as u64)
-    };
+    let edge_excess =
+        |a: u64, b: u64| -> u64 { (hamming(a, b) as u64).saturating_sub(cfg.max_dilation as u64) };
     let node_energy = |map: &[u64], v: usize| -> u64 {
         guest
             .neighbors(v)
@@ -100,8 +115,17 @@ pub fn anneal(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
     let mut best_energy = energy;
     let cool = (cfg.t_end / cfg.t_start).powf(1.0 / cfg.steps.max(1) as f64);
     let mut temp = cfg.t_start;
+    // Batched locally; flushed to the global counters on every exit path so
+    // the proposal loop stays free of atomics (see `flush` below).
+    let mut proposals = 0u64;
+    let mut accepts = 0u64;
+    let flush = |proposals: u64, accepts: u64| {
+        obs::counter!("search.anneal.proposals").add(proposals);
+        obs::counter!("search.anneal.accepts").add(accepts);
+    };
 
     for _ in 0..cfg.steps {
+        proposals += 1;
         temp *= cool;
         // Pick a node, biased toward violated ones: sample a few and take
         // the one with the highest local energy.
@@ -140,9 +164,9 @@ pub fn anneal(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
             after - before
         };
 
-        let accept = delta <= 0
-            || rng.random::<f64>() < (-(delta as f64) / temp.max(1e-9)).exp();
+        let accept = delta <= 0 || rng.random::<f64>() < (-(delta as f64) / temp.max(1e-9)).exp();
         if accept {
+            accepts += 1;
             if other == 0 {
                 occupant[old_addr as usize] = 0;
                 occupant[target as usize] = v as u32 + 1;
@@ -159,29 +183,36 @@ pub fn anneal(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
                 best_energy = energy;
                 best_map = map.clone();
                 if energy == 0 {
+                    flush(proposals, accepts);
                     return AnnealOutcome::Found(map);
                 }
             }
         }
     }
 
+    flush(proposals, accepts);
     if best_energy == 0 {
         AnnealOutcome::Found(best_map)
     } else {
-        AnnealOutcome::Best { map: best_map, energy: best_energy }
+        AnnealOutcome::Best {
+            map: best_map,
+            energy: best_energy,
+        }
     }
 }
 
 /// Run annealing with multiple seeds, returning the first success or the
 /// best failure.
-pub fn anneal_restarts(
-    guest: &Graph,
-    base: &AnnealConfig,
-    restarts: u64,
-) -> AnnealOutcome {
+pub fn anneal_restarts(guest: &Graph, base: &AnnealConfig, restarts: u64) -> AnnealOutcome {
     let mut best: Option<(u64, Vec<u64>)> = None;
     for r in 0..restarts {
-        let cfg = AnnealConfig { seed: base.seed.wrapping_add(r * 0x9E37), ..base.clone() };
+        if r > 0 {
+            obs::counter!("search.anneal.restarts").inc();
+        }
+        let cfg = AnnealConfig {
+            seed: base.seed.wrapping_add(r * 0x9E37),
+            ..base.clone()
+        };
         match anneal(guest, &cfg) {
             AnnealOutcome::Found(map) => return AnnealOutcome::Found(map),
             AnnealOutcome::Best { map, energy } => {

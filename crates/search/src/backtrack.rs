@@ -20,7 +20,9 @@
 //! node arrives with up to `k` placed neighbors); candidate order is
 //! deterministic or shuffled per seed for randomized restarts.
 
+use cubemesh_obs as obs;
 use cubemesh_topology::{hamming, Graph, Hypercube};
+use std::cell::Cell;
 
 /// Configuration for the exact search.
 #[derive(Clone, Debug)]
@@ -75,6 +77,8 @@ pub fn find_embedding(guest: &Graph, order: &[u32], cfg: &SearchConfig) -> Searc
         return SearchOutcome::Found(vec![]);
     }
 
+    let _span = obs::span!("search.backtrack");
+    let started = std::time::Instant::now();
     let mut st = State {
         guest,
         host,
@@ -86,12 +90,30 @@ pub fn find_embedding(guest: &Graph, order: &[u32], cfg: &SearchConfig) -> Searc
         used_bit_prefix: 0,
         budget: cfg.node_budget,
         rng: cfg.shuffle_seed.map(SplitMix::new),
+        sym_prunes: Cell::new(0),
+        frontier_prunes: Cell::new(0),
     };
 
-    match st.place(0) {
-        PlaceResult::Found => SearchOutcome::Found(st.map),
-        PlaceResult::Exhausted => SearchOutcome::Exhausted,
-        PlaceResult::Budget => SearchOutcome::BudgetExceeded,
+    let result = st.place(0);
+    // Counters are batched per run (plain u64 cells inside the search, one
+    // atomic flush here) so the hot loop never touches shared state.
+    obs::counter!("search.backtrack.steps").add(cfg.node_budget - st.budget);
+    obs::counter!("search.backtrack.prune.symmetry").add(st.sym_prunes.get());
+    obs::counter!("search.backtrack.prune.frontier").add(st.frontier_prunes.get());
+    match result {
+        PlaceResult::Found => {
+            obs::counter!("search.backtrack.found").inc();
+            obs::histogram!("search.backtrack.ttfs_ns").record(started.elapsed().as_nanos() as u64);
+            SearchOutcome::Found(st.map)
+        }
+        PlaceResult::Exhausted => {
+            obs::counter!("search.backtrack.exhausted").inc();
+            SearchOutcome::Exhausted
+        }
+        PlaceResult::Budget => {
+            obs::counter!("search.backtrack.budget_exceeded").inc();
+            SearchOutcome::BudgetExceeded
+        }
     }
 }
 
@@ -133,6 +155,10 @@ struct State<'a> {
     used_bit_prefix: u32,
     budget: u64,
     rng: Option<SplitMix>,
+    /// Candidates rejected by the first-use-canonical bit rule.
+    sym_prunes: Cell<u64>,
+    /// Subtrees cut by the frontier-feasibility check.
+    frontier_prunes: Cell<u64>,
 }
 
 impl State<'_> {
@@ -168,6 +194,8 @@ impl State<'_> {
                     }
                     PlaceResult::Exhausted => {}
                 }
+            } else {
+                self.frontier_prunes.set(self.frontier_prunes.get() + 1);
             }
             if !budget_hit {
                 self.unassign(node, cand);
@@ -205,8 +233,7 @@ impl State<'_> {
             bits &= bits - 1;
             self.bit_use_count[b as usize] -= 1;
         }
-        while self.used_bit_prefix > 0
-            && self.bit_use_count[self.used_bit_prefix as usize - 1] == 0
+        while self.used_bit_prefix > 0 && self.bit_use_count[self.used_bit_prefix as usize - 1] == 0
         {
             self.used_bit_prefix -= 1;
         }
@@ -272,7 +299,9 @@ impl State<'_> {
             // canonical address (translation symmetry for the first, plus
             // cheap anchoring for later components).
             return if self.used[0] {
-                (1..self.host.nodes()).filter(|&a| !self.used[a as usize]).collect()
+                (1..self.host.nodes())
+                    .filter(|&a| !self.used[a as usize])
+                    .collect()
             } else {
                 vec![0]
             };
@@ -281,9 +310,14 @@ impl State<'_> {
         let mut ball = Vec::new();
         self.ball(placed[0], &mut ball);
         ball.retain(|&c| {
-            !self.used[c as usize]
-                && placed[1..].iter().all(|&p| hamming(c, p) <= self.d)
-                && self.first_use_canonical(c)
+            if self.used[c as usize] || !placed[1..].iter().all(|&p| hamming(c, p) <= self.d) {
+                return false;
+            }
+            if !self.first_use_canonical(c) {
+                self.sym_prunes.set(self.sym_prunes.get() + 1);
+                return false;
+            }
+            true
         });
         ball
     }
@@ -327,8 +361,7 @@ impl State<'_> {
             }
             self.ball(placed[0], &mut ball);
             let ok = ball.iter().any(|&c| {
-                !self.used[c as usize]
-                    && placed[1..].iter().all(|&p| hamming(c, p) <= self.d)
+                !self.used[c as usize] && placed[1..].iter().all(|&p| hamming(c, p) <= self.d)
             });
             if !ok {
                 return false;

@@ -5,12 +5,23 @@
 //!
 //! Runs exact backtracking (several restart seeds), then annealing, and on
 //! success prints a `CatalogEntry` ready to paste into `catalog_data.rs`.
+//!
+//! Progress goes through the instrumentation layer: a live restart
+//! reporter on stderr while searching, and a full stats snapshot (search
+//! counters, span timings) when the run ends. `CUBEMESH_STATS=json`
+//! switches the snapshot to JSON; `CUBEMESH_STATS=off` suppresses it.
 
 use cubemesh_embedding::builders::mesh_edge_list;
+use cubemesh_obs::{self as obs, Progress};
 use cubemesh_search::anneal::{anneal_restarts, AnnealConfig, AnnealOutcome};
 use cubemesh_search::backtrack::{find_embedding, SearchConfig, SearchOutcome};
 use cubemesh_search::routes::certify_congestion;
 use cubemesh_topology::{cube_dim, Hypercube, Mesh, Shape};
+
+fn finish(code: i32) -> ! {
+    obs::report();
+    std::process::exit(code);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +60,12 @@ fn main() {
     }
     assert!(!dims.is_empty(), "usage: discover <l1> <l2> [l3 ...]");
     dims.sort_unstable();
+    // Discovery is an offline tool: the search counters and span timings
+    // ARE its diagnostics, so stats default to on (env can still override).
+    obs::init_from_env();
+    if std::env::var_os("CUBEMESH_STATS").is_none() {
+        obs::set_mode(obs::StatsMode::Text);
+    }
     let shape = Shape::new(&dims);
     let host_dim = dim_override.unwrap_or_else(|| cube_dim(shape.nodes() as u64));
     eprintln!(
@@ -63,9 +80,13 @@ fn main() {
     let guest = Mesh::new(shape.clone()).to_graph();
     let order: Vec<u32> = (0..guest.nodes() as u32).collect();
 
-    // Phase 1: exact backtracking, deterministic then shuffled.
-    let seeds: Vec<Option<u64>> =
-        std::iter::once(None).chain((0..restarts).map(Some)).collect();
+    // Phase 1: exact backtracking, deterministic then shuffled. The
+    // reporter shows restart progress; per-restart step counts, prunes,
+    // and time-to-first-solution land in the final snapshot.
+    let seeds: Vec<Option<u64>> = std::iter::once(None)
+        .chain((0..restarts).map(Some))
+        .collect();
+    let progress = Progress::always("exact restarts", seeds.len() as u64);
     for seed in seeds {
         let cfg = SearchConfig {
             host_dim,
@@ -73,26 +94,33 @@ fn main() {
             node_budget: budget / (restarts + 1),
             shuffle_seed: seed,
         };
-        let t = std::time::Instant::now();
-        match find_embedding(&guest, &order, &cfg) {
+        let outcome = find_embedding(&guest, &order, &cfg);
+        progress.tick(1);
+        match outcome {
             SearchOutcome::Found(map) => {
-                eprintln!("exact search found a map (seed {seed:?}, {:?})", t.elapsed());
+                progress.finish();
+                eprintln!("exact search found a map (seed {seed:?})");
                 if dilation <= 2 && !certifies_congestion2(&shape, host_dim, &map) {
                     eprintln!("…but congestion-2 routing is infeasible; retrying");
                     continue;
                 }
-                emit(&shape, host_dim, &map, "exact backtracking, congestion-2 certified");
-                return;
+                emit(
+                    &shape,
+                    host_dim,
+                    &map,
+                    "exact backtracking, congestion-2 certified",
+                );
+                finish(0);
             }
             SearchOutcome::Exhausted => {
+                progress.finish();
                 eprintln!("EXHAUSTED: no embedding exists with these parameters");
-                std::process::exit(2);
+                finish(2);
             }
-            SearchOutcome::BudgetExceeded => {
-                eprintln!("budget exceeded (seed {seed:?}, {:?})", t.elapsed());
-            }
+            SearchOutcome::BudgetExceeded => {}
         }
     }
+    progress.finish();
 
     // Phase 2: annealing.
     let cfg = AnnealConfig {
@@ -103,24 +131,20 @@ fn main() {
         t_end: 0.005,
         seed: 0xC0FFEE,
     };
-    let t = std::time::Instant::now();
     match anneal_restarts(&guest, &cfg, restarts.max(1)) {
         AnnealOutcome::Found(map) => {
-            eprintln!("annealing found a map ({:?})", t.elapsed());
+            eprintln!("annealing found a map");
             let provenance = if dilation <= 2 && certifies_congestion2(&shape, host_dim, &map) {
                 "simulated annealing, congestion-2 certified"
             } else {
                 "simulated annealing (congestion-2 routing NOT certified)"
             };
             emit(&shape, host_dim, &map, provenance);
+            finish(0);
         }
         AnnealOutcome::Best { energy, .. } => {
-            eprintln!(
-                "no embedding found; best residual energy {} after {:?}",
-                energy,
-                t.elapsed()
-            );
-            std::process::exit(1);
+            eprintln!("no embedding found; best residual energy {energy}");
+            finish(1);
         }
     }
 }

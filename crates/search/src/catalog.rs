@@ -12,9 +12,7 @@
 
 use crate::routes::certify_congestion;
 use cubemesh_embedding::builders::mesh_edge_list;
-use cubemesh_embedding::{
-    mesh_embedding_with_router, Embedding, RouteStrategy,
-};
+use cubemesh_embedding::{mesh_embedding_with_router, Embedding, RouteStrategy};
 use cubemesh_topology::{Hypercube, Mesh, Shape};
 
 /// One baked direct embedding: a row-major node map for `dims` into the
@@ -152,7 +150,8 @@ mod tests {
         for entry in catalog_entries() {
             let shape = Shape::new(entry.dims);
             let emb = catalog_embedding(&shape).expect("lookup must succeed");
-            emb.verify().unwrap_or_else(|e| panic!("{:?}: {}", entry.dims, e));
+            emb.verify()
+                .unwrap_or_else(|e| panic!("{:?}: {}", entry.dims, e));
             let m = emb.metrics();
             assert!(m.is_minimal_expansion(), "{:?}", entry.dims);
             assert!(m.dilation <= 2, "{:?} dilation {}", entry.dims, m.dilation);
@@ -186,7 +185,10 @@ mod tests {
     fn match_permutation_works() {
         assert_eq!(match_permutation(&[3, 5], &[5, 3]), Some(vec![1, 0]));
         assert_eq!(match_permutation(&[3, 5], &[3, 5]), Some(vec![0, 1]));
-        assert_eq!(match_permutation(&[3, 3, 7], &[3, 7, 3]), Some(vec![0, 2, 1]));
+        assert_eq!(
+            match_permutation(&[3, 3, 7], &[3, 7, 3]),
+            Some(vec![0, 2, 1])
+        );
         assert_eq!(match_permutation(&[3, 5], &[3, 7]), None);
     }
 
@@ -215,11 +217,26 @@ mod tests {
     #[test]
     fn paper_core_entries_present() {
         // The two direct 3-D embeddings that method 3 of §5 requires.
-        assert!(catalog_lookup(&Shape::new(&[3, 3, 3])).is_some(), "3x3x3 missing");
-        assert!(catalog_lookup(&Shape::new(&[3, 3, 7])).is_some(), "3x3x7 missing");
+        assert!(
+            catalog_lookup(&Shape::new(&[3, 3, 3])).is_some(),
+            "3x3x3 missing"
+        );
+        assert!(
+            catalog_lookup(&Shape::new(&[3, 3, 7])).is_some(),
+            "3x3x7 missing"
+        );
         // The 2-D direct embeddings of §3.3.
-        assert!(catalog_lookup(&Shape::new(&[3, 5])).is_some(), "3x5 missing");
-        assert!(catalog_lookup(&Shape::new(&[7, 9])).is_some(), "7x9 missing");
-        assert!(catalog_lookup(&Shape::new(&[11, 11])).is_some(), "11x11 missing");
+        assert!(
+            catalog_lookup(&Shape::new(&[3, 5])).is_some(),
+            "3x5 missing"
+        );
+        assert!(
+            catalog_lookup(&Shape::new(&[7, 9])).is_some(),
+            "7x9 missing"
+        );
+        assert!(
+            catalog_lookup(&Shape::new(&[11, 11])).is_some(),
+            "11x11 missing"
+        );
     }
 }

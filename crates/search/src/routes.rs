@@ -118,7 +118,12 @@ pub fn assign_bounded_congestion_budgeted(
                 let x = a ^ b;
                 let lo = x & x.wrapping_neg();
                 let hi = x ^ lo;
-                choices.push(Choice { edge_idx: i, a, b, mids: [a ^ lo, a ^ hi] });
+                choices.push(Choice {
+                    edge_idx: i,
+                    a,
+                    b,
+                    mids: [a ^ lo, a ^ hi],
+                });
             }
             d => panic!("edge spans Hamming distance {} > 2", d),
         }

@@ -1,0 +1,296 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal wall-clock benchmark harness with criterion's
+//! surface: `criterion_group!` / `criterion_main!`, `Criterion::
+//! bench_function`, benchmark groups with `sample_size`, and `Bencher::
+//! iter` / `iter_batched`.
+//!
+//! Methodology: after a short calibration run, each benchmark executes
+//! `sample_size` samples (default 10) and reports the median, minimum,
+//! and maximum per-iteration time. No statistical regression analysis —
+//! but the numbers are stable enough for the ≤-few-percent comparisons
+//! the repo's EXPERIMENTS.md makes, and the output format is greppable:
+//!
+//! ```text
+//! bench planner/21x9x5 ... median 184.2 µs/iter (min 181.9, max 196.0, 10 samples)
+//! ```
+//!
+//! Binaries accept the substring filters cargo passes through
+//! (`cargo bench -- <filter>`); `--bench` and other flags are ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How a batched setup's cost is amortized. The shim times each routine
+/// call individually, so the variants behave identically.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    #[default]
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measurement settings shared by a `Criterion` and its groups.
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    /// Target wall-clock time for one sample.
+    sample_time: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            sample_time: Duration::from_millis(50),
+            filters: Vec::new(),
+        }
+    }
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Read CLI filters the way `cargo bench -- <substr>` delivers them.
+    fn from_args() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { settings: Settings { filters, ..Settings::default() } }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, &id.to_string(), f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings.clone(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark inside the group (`group/name` in the output).
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, &format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement state handed to the closure (mirrors
+/// `criterion::Bencher`).
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Measured wall-clock time for the sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh untimed `setup` product per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(settings: &Settings, name: &str, mut f: F) {
+    if !settings.filters.is_empty()
+        && !settings.filters.iter().any(|flt| name.contains(flt.as_str()))
+    {
+        return;
+    }
+
+    // Calibrate: find an iteration count that fills ~sample_time.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= settings.sample_time || iters >= 1 << 24 {
+            break;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let target = settings.sample_time.as_secs_f64();
+        let want = if per_iter > 0.0 { (target / per_iter).ceil() as u64 } else { iters * 16 };
+        iters = want.clamp(iters + 1, iters * 16);
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "bench {} ... median {} (min {}, max {}, {} samples, {} iters/sample)",
+        name,
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(max),
+        samples.len(),
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{:.3} s/iter", secs)
+    } else if secs >= 1e-3 {
+        format!("{:.1} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.1} µs/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::__from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Entry point used by [`criterion_main!`]; not public API.
+    #[doc(hidden)]
+    pub fn __from_args() -> Self {
+        Criterion::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 3,
+                sample_time: Duration::from_micros(200),
+                filters: vec![],
+            },
+        };
+        let mut count = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iter() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                sample_time: Duration::from_micros(100),
+                filters: vec![],
+            },
+        };
+        let mut g = c.benchmark_group("shim_group");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64, 2, 3], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                sample_time: Duration::from_micros(100),
+                filters: vec!["only_this".into()],
+            },
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+}

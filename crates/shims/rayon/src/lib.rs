@@ -1,0 +1,175 @@
+//! Offline shim for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal data-parallel implementation backed by
+//! `std::thread::scope`. It covers exactly the call sites in this
+//! repository: `into_par_iter()` on integer ranges (and `Vec`), followed
+//! by `.map(f)` and a terminal `.sum()` or `.reduce(identity, op)`.
+//!
+//! Work is split into one contiguous chunk per available core. The
+//! censuses that use this fan out over at most a few hundred outer items,
+//! each carrying a large inner loop, so chunked splitting (rather than
+//! rayon's work-stealing) loses little.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of worker threads to fan out across.
+fn workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Conversion into a (shim) parallel iterator — mirrors
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Start data-parallel iteration.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+        impl IntoParallelIterator for RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_into_par_range!(usize, u64, u32, i32);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator (the shim buffers items up front; the
+/// workloads here fan out over at most a few hundred outer items).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal operations run the map across
+/// worker threads.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Apply the map across worker threads, preserving input order.
+    fn run(self) -> Vec<R> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = workers().min(n);
+        if threads == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("shim rayon worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Sum the mapped values (mirrors `ParallelIterator::sum`).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Fold the mapped values with an identity constructor and an
+    /// associative operator (mirrors `ParallelIterator::reduce`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        self.run().into_iter().fold(identity(), &op)
+    }
+}
+
+/// The glob-import surface (mirrors `rayon::prelude`).
+pub mod prelude {
+    pub use super::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let par: u64 = (1u64..=1000).into_par_iter().map(|x| x * x).sum();
+        let seq: u64 = (1u64..=1000).map(|x| x * x).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        let par = (0usize..100)
+            .into_par_iter()
+            .map(|x| ([x as u64; 2], x as u64))
+            .reduce(
+                || ([0u64; 2], 0u64),
+                |(mut a1, b1), (a2, b2)| {
+                    a1[0] += a2[0];
+                    a1[1] += a2[1];
+                    (a1, b1 + b2)
+                },
+            );
+        let total: u64 = (0..100u64).sum();
+        assert_eq!(par, ([total; 2], total));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let s: u64 = (0u64..0).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 0);
+    }
+}

@@ -57,7 +57,11 @@ impl Graph {
             adjacency[cursor[b as usize] as usize] = a;
             cursor[b as usize] += 1;
         }
-        Graph { offsets, adjacency, edges }
+        Graph {
+            offsets,
+            adjacency,
+            edges,
+        }
     }
 
     /// Number of nodes.

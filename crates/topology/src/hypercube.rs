@@ -81,7 +81,11 @@ impl Hypercube {
     /// # Panics
     /// Panics if `n > 28` (graph would not fit in memory anyway).
     pub fn to_graph(&self) -> Graph {
-        assert!(self.dim <= 28, "refusing to materialize a Q_{} graph", self.dim);
+        assert!(
+            self.dim <= 28,
+            "refusing to materialize a Q_{} graph",
+            self.dim
+        );
         let n = self.nodes() as usize;
         let mut edges = Vec::with_capacity(self.edge_count() as usize);
         for v in 0..n as u64 {

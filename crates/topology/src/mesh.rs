@@ -73,8 +73,7 @@ impl Mesh {
 
     /// Lower the mesh to a generic [`Graph`].
     pub fn to_graph(&self) -> Graph {
-        let edges: Vec<(usize, usize)> =
-            self.edges().map(|e| self.edge_endpoints(e)).collect();
+        let edges: Vec<(usize, usize)> = self.edges().map(|e| self.edge_endpoints(e)).collect();
         Graph::from_edges(self.nodes(), &edges)
     }
 }
@@ -98,8 +97,7 @@ mod tests {
             let (u, v) = m.edge_endpoints(e);
             let cu = m.shape().coords(u);
             let cv = m.shape().coords(v);
-            let diff: Vec<usize> =
-                (0..3).filter(|&i| cu[i] != cv[i]).collect();
+            let diff: Vec<usize> = (0..3).filter(|&i| cu[i] != cv[i]).collect();
             assert_eq!(diff, vec![e.axis]);
             assert_eq!(cv[e.axis], cu[e.axis] + 1);
         }

@@ -16,8 +16,7 @@ pub fn product(g1: &Graph, g2: &Graph) -> Graph {
     let n1 = g1.nodes();
     let n2 = g2.nodes();
     let n = n1.checked_mul(n2).expect("product graph too large");
-    let mut edges =
-        Vec::with_capacity(n1 * g2.edge_count() + n2 * g1.edge_count());
+    let mut edges = Vec::with_capacity(n1 * g2.edge_count() + n2 * g1.edge_count());
     // G₂-type edges: one copy of G₂ per node of G₁.
     for u in 0..n1 {
         for &(a, b) in g2.edges() {
@@ -43,7 +42,10 @@ pub fn product_node(u: usize, v: usize, n2: usize) -> usize {
 /// (same node count assumed; every `sub` edge must exist in `host`).
 pub fn is_identity_subgraph(sub: &Graph, host: &Graph) -> bool {
     sub.nodes() == host.nodes()
-        && sub.edges().iter().all(|&(a, b)| host.has_edge(a as usize, b as usize))
+        && sub
+            .edges()
+            .iter()
+            .all(|&(a, b)| host.has_edge(a as usize, b as usize))
 }
 
 #[cfg(test)]

@@ -115,7 +115,10 @@ impl Shape {
 
     /// Iterate over all coordinate vectors in row-major order.
     pub fn iter_coords(&self) -> CoordIter<'_> {
-        CoordIter { shape: self, next: Some(vec![0; self.rank()]) }
+        CoordIter {
+            shape: self,
+            next: Some(vec![0; self.rank()]),
+        }
     }
 
     /// The shape with axes sorted ascending — the canonical representative
@@ -133,7 +136,11 @@ impl Shape {
     /// # Panics
     /// Panics if the ranks differ.
     pub fn product(&self, other: &Shape) -> Shape {
-        assert_eq!(self.rank(), other.rank(), "product of shapes with different ranks");
+        assert_eq!(
+            self.rank(),
+            other.rank(),
+            "product of shapes with different ranks"
+        );
         Shape(self.0.iter().zip(&other.0).map(|(a, b)| a * b).collect())
     }
 

@@ -67,7 +67,10 @@ impl Torus {
                     // low-coordinate endpoint below.
                     let mut low = c.clone();
                     low[axis] = 0;
-                    Some(TorusEdge::Wrap { node: self.shape.index(&low), axis })
+                    Some(TorusEdge::Wrap {
+                        node: self.shape.index(&low),
+                        axis,
+                    })
                 } else {
                     None
                 }
@@ -92,8 +95,7 @@ impl Torus {
 
     /// Lower the torus to a generic [`Graph`].
     pub fn to_graph(&self) -> Graph {
-        let edges: Vec<(usize, usize)> =
-            self.edges().map(|e| self.edge_endpoints(e)).collect();
+        let edges: Vec<(usize, usize)> = self.edges().map(|e| self.edge_endpoints(e)).collect();
         Graph::from_edges(self.nodes(), &edges)
     }
 }

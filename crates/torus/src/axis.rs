@@ -28,7 +28,12 @@ pub enum Step {
     /// Bridge a removal gap by a direct shortest path from
     /// `(c_from, w_from)` to `(c_to, w_to)` — dilation =
     /// `Hamming(c_from, c_to) + Hamming(φ(w_from·), φ(w_to·))` per fiber.
-    Jump { w_from: usize, w_to: usize, c_from: u32, c_to: u32 },
+    Jump {
+        w_from: usize,
+        w_to: usize,
+        c_from: u32,
+        c_to: u32,
+    },
 }
 
 /// A ring code for one wraparound axis.
@@ -67,9 +72,12 @@ impl AxisCode {
                     .map(|s| match *s {
                         Step::M2 { from, to } => cost(from, to),
                         Step::C { .. } => 1,
-                        Step::Jump { w_from, w_to, c_from, c_to } => {
-                            (c_from ^ c_to).count_ones() + cost(w_from, w_to)
-                        }
+                        Step::Jump {
+                            w_from,
+                            w_to,
+                            c_from,
+                            c_to,
+                        } => (c_from ^ c_to).count_ones() + cost(w_from, w_to),
                     })
                     .sum()
             })
@@ -134,7 +142,12 @@ impl Base {
     fn bridge(&self, from: usize, to: usize) -> Step {
         let (c1, w1) = self.pos[from];
         let (c2, w2) = self.pos[to];
-        Step::Jump { w_from: w1, w_to: w2, c_from: c1, c_to: c2 }
+        Step::Jump {
+            w_from: w1,
+            w_to: w2,
+            c_from: c1,
+            c_to: c2,
+        }
     }
 
     /// Bridge dilation if positions `from..=to` exclusive interior were
@@ -147,8 +160,7 @@ impl Base {
 
     /// Assemble the axis code from a removal set.
     fn assemble(&self, len: usize, m: usize, cbits: u32, removals: &[usize]) -> AxisCode {
-        let kept: Vec<usize> =
-            (0..self.len).filter(|p| !removals.contains(p)).collect();
+        let kept: Vec<usize> = (0..self.len).filter(|p| !removals.contains(p)).collect();
         assert_eq!(kept.len(), len, "removals must leave exactly ℓ positions");
         let pos: Vec<(u32, usize)> = kept.iter().map(|&p| self.pos[p]).collect();
         let mut trans = Vec::with_capacity(len);
@@ -165,7 +177,13 @@ impl Base {
                 }
             }
         }
-        AxisCode { len, inner_len: m, cbits, pos, trans }
+        AxisCode {
+            len,
+            inner_len: m,
+            cbits,
+            pos,
+            trans,
+        }
     }
 }
 
@@ -222,8 +240,7 @@ fn best_removals(base: &Base, r: usize, cost: &dyn Fn(usize, usize) -> u32) -> V
 
     let single_cost = |p: usize| base.bridge_cost(pred(p), succ(p), cost);
     let pair_cost = |p: usize| base.bridge_cost(pred(p), succ(succ(p)), cost);
-    let triple_cost =
-        |p: usize| base.bridge_cost(pred(p), succ(succ(succ(p))), cost);
+    let triple_cost = |p: usize| base.bridge_cost(pred(p), succ(succ(succ(p))), cost);
 
     match r {
         0 => vec![],
@@ -269,7 +286,11 @@ mod tests {
         for &(c, w) in &code.pos {
             assert!(c < (1 << code.cbits));
             assert!(w < code.inner_len);
-            assert!(seen.insert((c, w)), "duplicate position in len {}", code.len);
+            assert!(
+                seen.insert((c, w)),
+                "duplicate position in len {}",
+                code.len
+            );
         }
         // Transitions connect consecutive positions.
         if code.len == 1 {
@@ -289,7 +310,12 @@ mod tests {
                         assert_eq!((from ^ to).count_ones(), 1);
                         c = to;
                     }
-                    Step::Jump { w_from, w_to, c_from, c_to } => {
+                    Step::Jump {
+                        w_from,
+                        w_to,
+                        c_from,
+                        c_to,
+                    } => {
                         assert_eq!((c, w), (c_from, w_from));
                         c = c_to;
                         w = w_to;
@@ -297,7 +323,13 @@ mod tests {
                 }
             }
             let (ec, ew) = code.pos[(p + 1) % code.len];
-            assert_eq!((c, w), (ec, ew), "len {} transition {} wrong end", code.len, p);
+            assert_eq!(
+                (c, w),
+                (ec, ew),
+                "len {} transition {} wrong end",
+                code.len,
+                p
+            );
         }
     }
 

@@ -16,19 +16,18 @@ use cubemesh_topology::{Hypercube, Shape, Torus, TorusEdge};
 /// The host cube has `inner.host().dim() + Σ cbitsᵢ` dimensions: the
 /// inner embedding in the low bits and each axis' submesh bits above it.
 /// Guest edges are enumerated in [`Torus::edges`] order.
-pub fn build_torus_embedding(
-    shape: &Shape,
-    codes: &[AxisCode],
-    inner: &Embedding,
-) -> Embedding {
+pub fn build_torus_embedding(shape: &Shape, codes: &[AxisCode], inner: &Embedding) -> Embedding {
     let k = shape.rank();
     assert_eq!(codes.len(), k);
     for (i, code) in codes.iter().enumerate() {
         assert_eq!(code.len, shape.len(i), "axis {} code length mismatch", i);
     }
-    let inner_shape =
-        Shape::new(&codes.iter().map(|c| c.inner_len).collect::<Vec<_>>());
-    assert_eq!(inner.guest_nodes(), inner_shape.nodes(), "inner embedding shape");
+    let inner_shape = Shape::new(&codes.iter().map(|c| c.inner_len).collect::<Vec<_>>());
+    assert_eq!(
+        inner.guest_nodes(),
+        inner_shape.nodes(),
+        "inner embedding shape"
+    );
 
     let n2 = inner.host().dim();
     // Submesh-bit fields, axis 0 topmost.
@@ -151,7 +150,12 @@ fn assemble_route(
                 }
                 wvec[axis] = to;
             }
-            Step::Jump { w_from, w_to, c_from, c_to } => {
+            Step::Jump {
+                w_from,
+                w_to,
+                c_from,
+                c_to,
+            } => {
                 debug_assert_eq!(wvec[axis], w_from);
                 debug_assert_eq!(
                     (cur >> offsets[axis]) & ((1 << codes[axis].cbits) - 1),
@@ -163,10 +167,9 @@ fn assemble_route(
                 let target = (cur & !inner_mask & !cmask)
                     | ((c_to as u64) << offsets[axis])
                     | inner.image(inner_shape.index(&wnew));
-                for step in
-                    cubemesh_embedding::router::canonical_path(cur, target)
-                        .into_iter()
-                        .skip(1)
+                for step in cubemesh_embedding::router::canonical_path(cur, target)
+                    .into_iter()
+                    .skip(1)
                 {
                     path.push(step);
                 }
@@ -186,20 +189,16 @@ mod tests {
 
     fn build_half(dims: &[usize]) -> Embedding {
         let shape = Shape::new(dims);
-        let codes: Vec<AxisCode> =
-            dims.iter().map(|&l| axis_half(l)).collect();
-        let inner_shape =
-            Shape::new(&codes.iter().map(|c| c.inner_len).collect::<Vec<_>>());
+        let codes: Vec<AxisCode> = dims.iter().map(|&l| axis_half(l)).collect();
+        let inner_shape = Shape::new(&codes.iter().map(|c| c.inner_len).collect::<Vec<_>>());
         let inner = gray_mesh_embedding(&inner_shape);
         build_torus_embedding(&shape, &codes, &inner)
     }
 
     fn build_quarter(dims: &[usize]) -> Embedding {
         let shape = Shape::new(dims);
-        let codes: Vec<AxisCode> =
-            dims.iter().map(|&l| axis_quarter(l)).collect();
-        let inner_shape =
-            Shape::new(&codes.iter().map(|c| c.inner_len).collect::<Vec<_>>());
+        let codes: Vec<AxisCode> = dims.iter().map(|&l| axis_quarter(l)).collect();
+        let inner_shape = Shape::new(&codes.iter().map(|c| c.inner_len).collect::<Vec<_>>());
         let inner = gray_mesh_embedding(&inner_shape);
         build_torus_embedding(&shape, &codes, &inner)
     }
@@ -208,7 +207,8 @@ mod tests {
     fn even_tori_embed_at_inner_dilation() {
         for dims in [vec![4usize, 6], vec![8, 2], vec![6, 6, 4], vec![10]] {
             let e = build_half(&dims);
-            e.verify().unwrap_or_else(|err| panic!("{:?}: {}", dims, err));
+            e.verify()
+                .unwrap_or_else(|err| panic!("{:?}: {}", dims, err));
             let m = e.metrics();
             assert_eq!(m.dilation, 1, "{:?} (gray inner, all even)", dims);
         }
@@ -218,7 +218,8 @@ mod tests {
     fn odd_axes_pay_at_most_one_extra() {
         for dims in [vec![5usize, 6], vec![7, 7], vec![3, 5, 7], vec![9]] {
             let e = build_half(&dims);
-            e.verify().unwrap_or_else(|err| panic!("{:?}: {}", dims, err));
+            e.verify()
+                .unwrap_or_else(|err| panic!("{:?}: {}", dims, err));
             let m = e.metrics();
             assert!(m.dilation <= 2, "{:?} dilation {}", dims, m.dilation);
         }
@@ -228,7 +229,8 @@ mod tests {
     fn quartering_tori_verify() {
         for dims in [vec![8usize, 12], vec![6, 10], vec![7, 9], vec![12]] {
             let e = build_quarter(&dims);
-            e.verify().unwrap_or_else(|err| panic!("{:?}: {}", dims, err));
+            e.verify()
+                .unwrap_or_else(|err| panic!("{:?}: {}", dims, err));
             let m = e.metrics();
             assert!(m.dilation <= 2, "{:?} dilation {}", dims, m.dilation);
         }

@@ -87,17 +87,15 @@ pub fn embed_torus(shape: &Shape) -> Option<TorusPlanOutcome> {
 }
 
 /// [`embed_torus`] reusing a caller-provided planner memo.
-pub fn embed_torus_with(
-    shape: &Shape,
-    planner: &mut Planner,
-) -> Option<TorusPlanOutcome> {
+pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPlanOutcome> {
     let k = shape.rank();
     let total = cube_dim(shape.nodes() as u64);
     let mut best: Option<Candidate> = None;
 
     for mask in 0..(1u32 << k) {
-        let rule: Vec<u8> =
-            (0..k).map(|i| if mask & (1 << i) != 0 { 2 } else { 1 }).collect();
+        let rule: Vec<u8> = (0..k)
+            .map(|i| if mask & (1 << i) != 0 { 2 } else { 1 })
+            .collect();
         let inner_dims: Vec<usize> = shape
             .dims()
             .iter()

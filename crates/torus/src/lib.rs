@@ -26,4 +26,6 @@ pub mod predicates;
 pub use axis::{axis_half, axis_quarter, AxisCode, Step};
 pub use build::build_torus_embedding;
 pub use driver::{embed_torus, TorusPlanOutcome};
-pub use predicates::{corollary3_dilation2, corollary3_dilation3, lemma3_condition, lemma4_condition};
+pub use predicates::{
+    corollary3_dilation2, corollary3_dilation3, lemma3_condition, lemma4_condition,
+};

@@ -15,8 +15,7 @@ pub fn lemma3_condition(shape: &Shape) -> bool {
 /// `⌈Π ℓᵢ⌉₂ = 4^k · ⌈Π ⌈ℓᵢ/4⌉⌉₂`.
 pub fn lemma4_condition(shape: &Shape) -> bool {
     let k = shape.rank() as u32;
-    let quarters: u64 =
-        shape.dims().iter().map(|&l| l.div_ceil(4) as u64).product();
+    let quarters: u64 = shape.dims().iter().map(|&l| l.div_ceil(4) as u64).product();
     ceil_pow2(shape.nodes() as u64) == (1u64 << (2 * k)) * ceil_pow2(quarters)
 }
 
@@ -83,10 +82,7 @@ mod tests {
             for l2 in 1..=20usize {
                 let d2 = corollary3_dilation2(l1, l2);
                 let shape = Shape::new(&[l1, l2]);
-                assert_eq!(
-                    d2,
-                    lemma4_condition(&shape) || (l1 % 2 == 0 && l2 % 2 == 0)
-                );
+                assert_eq!(d2, lemma4_condition(&shape) || (l1 % 2 == 0 && l2 % 2 == 0));
             }
         }
     }

@@ -25,8 +25,14 @@ fn main() {
             println!("  S2 (+pair via 2-D)     {:>6.2}%", s[1]);
             println!("  S3 (+3x3x3 / 3x3x7)    {:>6.2}%", s[2]);
             println!("  S4 (+axis splitting)   {:>6.2}%", s[3]);
-            println!("  constructive (planner) {:>6.2}%", c.constructive_percent());
-            println!("  open meshes            {:>6.2}%", 100.0 * c.uncovered as f64 / c.total as f64);
+            println!(
+                "  constructive (planner) {:>6.2}%",
+                c.constructive_percent()
+            );
+            println!(
+                "  open meshes            {:>6.2}%",
+                100.0 * c.uncovered as f64 / c.total as f64
+            );
         }
         3 => {
             let (a, b, c) = (args[0], args[1], args[2]);

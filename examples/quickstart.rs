@@ -16,7 +16,12 @@ fn main() {
     let dims = if dims.is_empty() { vec![5, 6, 7] } else { dims };
     let shape = Shape::new(&dims);
 
-    println!("mesh {} — {} nodes, minimal cube Q{}", shape, shape.nodes(), shape.minimal_cube_dim());
+    println!(
+        "mesh {} — {} nodes, minimal cube Q{}",
+        shape,
+        shape.nodes(),
+        shape.minimal_cube_dim()
+    );
 
     // Plan a minimal-expansion dilation-≤2 embedding by graph
     // decomposition (Ho & Johnsson 1990, §4.2).

@@ -42,7 +42,11 @@ fn main() {
     let (decomp, minimal) = embed_mesh(&shape);
     let rows = [
         (
-            if minimal { "decomposition" } else { "gray (no plan)" },
+            if minimal {
+                "decomposition"
+            } else {
+                "gray (no plan)"
+            },
             decomp,
         ),
         ("gray (expanded)", gray_mesh_embedding(&shape)),

@@ -15,7 +15,12 @@ fn main() {
     let dims = if dims.is_empty() { vec![6, 10] } else { dims };
     let shape = Shape::new(&dims);
 
-    println!("wraparound mesh {} — {} nodes, minimal cube Q{}", shape, shape.nodes(), shape.minimal_cube_dim());
+    println!(
+        "wraparound mesh {} — {} nodes, minimal cube Q{}",
+        shape,
+        shape.nodes(),
+        shape.minimal_cube_dim()
+    );
     if shape.rank() == 2 {
         println!(
             "Corollary 3 predicts: dilation ≤ 2: {}, dilation ≤ 3: {}",

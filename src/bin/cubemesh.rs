@@ -9,11 +9,17 @@
 //! cubemesh census 5                      Figure-2 census at li <= 2^5
 //! cubemesh verify FILE                   re-verify an exported embedding
 //! ```
+//!
+//! Every subcommand accepts `--stats` to print an instrumentation snapshot
+//! (counters, histograms, span timings) after the run; setting
+//! `CUBEMESH_STATS=text` or `CUBEMESH_STATS=json` does the same without
+//! the flag and selects the output format.
 
 use cubemesh::core::{classify3, construct, embed_mesh, Planner};
 use cubemesh::embedding::portable::{read_embedding, write_embedding};
-use cubemesh::embedding::gray_mesh_embedding;
+use cubemesh::embedding::{gray_mesh_embedding, RouteStrategy};
 use cubemesh::netsim::{simulate_with, stencil_exchange, Switching};
+use cubemesh::obs;
 use cubemesh::reshape::snake_embedding;
 use cubemesh::topology::Shape;
 use cubemesh::torus::embed_torus;
@@ -21,12 +27,19 @@ use std::io::BufReader;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    obs::init_from_env();
+    if args.iter().any(|a| a == "--stats") {
+        args.retain(|a| a != "--stats");
+        if obs::mode() == obs::StatsMode::Off {
+            obs::set_mode(obs::StatsMode::Text);
+        }
+    }
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: cubemesh <embed|classify|torus|simulate|census|verify> …");
+        eprintln!("usage: cubemesh <embed|classify|torus|simulate|census|verify> … [--stats]");
         return ExitCode::from(2);
     };
-    match cmd.as_str() {
+    let code = match cmd.as_str() {
         "embed" => embed(rest),
         "classify" => classify(rest),
         "torus" => torus(rest),
@@ -37,16 +50,24 @@ fn main() -> ExitCode {
             eprintln!("unknown command '{}'", other);
             ExitCode::from(2)
         }
-    }
+    };
+    // Text goes to stderr, JSON as one line to stdout; no-op when off.
+    obs::report();
+    code
 }
 
 fn parse_dims(args: &[String]) -> (Vec<usize>, Vec<(String, String)>) {
     let mut dims = Vec::new();
     let mut flags = Vec::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it.next().cloned().unwrap_or_default();
+            // A following `--flag` is the next flag, not this one's value,
+            // so bare boolean flags (--json) compose with valued ones.
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().cloned().unwrap(),
+                _ => String::new(),
+            };
             flags.push((name.to_string(), value));
         } else if let Ok(d) = a.parse() {
             dims.push(d);
@@ -58,7 +79,10 @@ fn parse_dims(args: &[String]) -> (Vec<usize>, Vec<(String, String)>) {
 }
 
 fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 fn embed(args: &[String]) -> ExitCode {
@@ -70,15 +94,34 @@ fn embed(args: &[String]) -> ExitCode {
     let shape = Shape::new(&dims);
     let (emb, minimal) = embed_mesh(&shape);
     if let Err(e) = emb.verify() {
-        eprintln!("internal error: constructed embedding failed to verify: {}", e);
+        eprintln!(
+            "internal error: constructed embedding failed to verify: {}",
+            e
+        );
         return ExitCode::from(1);
+    }
+    if obs::enabled() {
+        // The construction carries its own routes; also drive the
+        // congestion-aware router over the final node map so the snapshot
+        // reports router behavior (passes, congestion histogram) for this
+        // embedding.
+        let _ = cubemesh::embedding::router::route_all(
+            emb.map(),
+            emb.guest_edges(),
+            emb.host(),
+            RouteStrategy::default(),
+        );
     }
     let m = emb.metrics();
     println!(
         "{}: Q{} ({}), expansion {:.3}, dilation {}, congestion {}, avg dilation {:.3}",
         shape,
         m.host_dim,
-        if minimal { "minimal" } else { "Gray fallback — no minimal plan known" },
+        if minimal {
+            "minimal"
+        } else {
+            "Gray fallback — no minimal plan known"
+        },
         m.expansion,
         m.dilation,
         m.congestion,
@@ -109,7 +152,12 @@ fn classify(args: &[String]) -> ExitCode {
     }
     let shape = Shape::new(&dims);
     match classify3(dims[0] as u64, dims[1] as u64, dims[2] as u64) {
-        Some(m) => println!("{}: paper method {:?} (cube Q{})", shape, m, shape.minimal_cube_dim()),
+        Some(m) => println!(
+            "{}: paper method {:?} (cube Q{})",
+            shape,
+            m,
+            shape.minimal_cube_dim()
+        ),
         None => println!("{}: open under the paper's methods 1-4", shape),
     }
     match Planner::new().plan(&shape) {
@@ -155,33 +203,57 @@ fn simulate_cmd(args: &[String]) -> ExitCode {
         eprintln!("usage: cubemesh simulate <l1> [l2 …] [--flits N] [--cut-through x]");
         return ExitCode::from(2);
     }
-    let flits: u32 = flag(&flags, "flits").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let flits: u32 = flag(&flags, "flits")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
     let switching = if flag(&flags, "cut-through").is_some() {
         Switching::CutThrough
     } else {
         Switching::StoreAndForward
     };
+    let json = flag(&flags, "json").is_some();
     let shape = Shape::new(&dims);
-    println!(
-        "{}: stencil exchange, {} flits, {:?}",
-        shape, flits, switching
-    );
+    if !json {
+        println!(
+            "{}: stencil exchange, {} flits, {:?}",
+            shape, flits, switching
+        );
+    }
     let (decomp, minimal) = embed_mesh(&shape);
     let cases = [
-        (if minimal { "decomposition" } else { "gray (no plan)" }, decomp),
+        (
+            if minimal {
+                "decomposition"
+            } else {
+                "gray (no plan)"
+            },
+            decomp,
+        ),
         ("gray (expanded)", gray_mesh_embedding(&shape)),
         ("snake (minimal)", snake_embedding(&shape)),
     ];
     for (name, emb) in cases {
         let r = simulate_with(emb.host(), &stencil_exchange(&emb, flits), switching);
-        println!(
-            "  {:<16} Q{:<3} dilation {:<2} makespan {:>6} ({:.2}x)",
-            name,
-            emb.host().dim(),
-            emb.metrics().dilation,
-            r.makespan,
-            r.makespan as f64 / flits as f64
-        );
+        if json {
+            println!(
+                "{{\"case\":\"{}\",\"host_dim\":{},\"dilation\":{},\"result\":{}}}",
+                name,
+                emb.host().dim(),
+                emb.metrics().dilation,
+                r.to_json()
+            );
+        } else {
+            println!(
+                "  {:<16} Q{:<3} dilation {:<2} makespan {:>6} ({:.2}x)  max queue {:<3} max latency {}",
+                name,
+                emb.host().dim(),
+                emb.metrics().dilation,
+                r.makespan,
+                r.makespan as f64 / flits as f64,
+                r.max_queue_depth,
+                r.max_latency
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/census-8a00a5a6ea812bb4.d: crates/bench/benches/census.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcensus-8a00a5a6ea812bb4.rmeta: crates/bench/benches/census.rs Cargo.toml
+
+crates/bench/benches/census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c6b3a0142d159417.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c6b3a0142d159417.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

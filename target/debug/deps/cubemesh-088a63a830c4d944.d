@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh-088a63a830c4d944.d: src/bin/cubemesh.rs
+
+/root/repo/target/debug/deps/cubemesh-088a63a830c4d944: src/bin/cubemesh.rs
+
+src/bin/cubemesh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh-0db8b7c6f1ec5087.d: src/bin/cubemesh.rs
+
+/root/repo/target/debug/deps/cubemesh-0db8b7c6f1ec5087: src/bin/cubemesh.rs
+
+src/bin/cubemesh.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh-1f5f5dc760248c43.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh-1f5f5dc760248c43.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh-1f5f5dc760248c43.rmeta: src/lib.rs
+
+src/lib.rs:

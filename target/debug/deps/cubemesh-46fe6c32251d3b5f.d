@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh-46fe6c32251d3b5f.d: src/lib.rs
+
+/root/repo/target/debug/deps/cubemesh-46fe6c32251d3b5f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh-822cbc8dbf5fdef4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh-822cbc8dbf5fdef4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh-822cbc8dbf5fdef4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh-87fefcc604e8986c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh-87fefcc604e8986c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh-940a99d0fab3bd85.d: src/bin/cubemesh.rs
+
+/root/repo/target/debug/deps/cubemesh-940a99d0fab3bd85: src/bin/cubemesh.rs
+
+src/bin/cubemesh.rs:

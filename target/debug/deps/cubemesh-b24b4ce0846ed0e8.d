@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh-b24b4ce0846ed0e8.d: src/lib.rs
+
+/root/repo/target/debug/deps/cubemesh-b24b4ce0846ed0e8: src/lib.rs
+
+src/lib.rs:

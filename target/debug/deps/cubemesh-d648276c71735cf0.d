@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh-d648276c71735cf0.d: src/bin/cubemesh.rs
+
+/root/repo/target/debug/deps/cubemesh-d648276c71735cf0: src/bin/cubemesh.rs
+
+src/bin/cubemesh.rs:

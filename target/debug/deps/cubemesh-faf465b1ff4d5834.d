@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh-faf465b1ff4d5834.d: src/bin/cubemesh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh-faf465b1ff4d5834.rmeta: src/bin/cubemesh.rs Cargo.toml
+
+src/bin/cubemesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

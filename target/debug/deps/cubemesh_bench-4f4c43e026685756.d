@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh_bench-4f4c43e026685756.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh_bench-4f4c43e026685756.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh_bench-4f4c43e026685756.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh_bench-c1724316895dab18.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cubemesh_bench-c1724316895dab18: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

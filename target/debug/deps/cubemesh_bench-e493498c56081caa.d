@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cubemesh_bench-e493498c56081caa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cubemesh_bench-e493498c56081caa: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

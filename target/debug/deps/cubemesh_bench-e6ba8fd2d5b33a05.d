@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh_bench-e6ba8fd2d5b33a05.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_bench-e6ba8fd2d5b33a05.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

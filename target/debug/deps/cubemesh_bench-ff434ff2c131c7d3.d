@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh_bench-ff434ff2c131c7d3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh_bench-ff434ff2c131c7d3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcubemesh_bench-ff434ff2c131c7d3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

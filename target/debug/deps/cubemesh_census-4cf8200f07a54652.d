@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cubemesh_census-4cf8200f07a54652.d: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_census-4cf8200f07a54652.rmeta: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs Cargo.toml
+
+crates/census/src/lib.rs:
+crates/census/src/cover.rs:
+crates/census/src/exceptions.rs:
+crates/census/src/gray_fraction.rs:
+crates/census/src/higher_k.rs:
+crates/census/src/three_d.rs:
+crates/census/src/two_d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cubemesh_census-55b1ecb1706d5c02.d: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+/root/repo/target/debug/deps/cubemesh_census-55b1ecb1706d5c02: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+crates/census/src/lib.rs:
+crates/census/src/cover.rs:
+crates/census/src/exceptions.rs:
+crates/census/src/gray_fraction.rs:
+crates/census/src/higher_k.rs:
+crates/census/src/three_d.rs:
+crates/census/src/two_d.rs:

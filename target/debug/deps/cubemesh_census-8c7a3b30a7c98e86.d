@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cubemesh_census-8c7a3b30a7c98e86.d: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+/root/repo/target/debug/deps/libcubemesh_census-8c7a3b30a7c98e86.rlib: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+/root/repo/target/debug/deps/libcubemesh_census-8c7a3b30a7c98e86.rmeta: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+crates/census/src/lib.rs:
+crates/census/src/cover.rs:
+crates/census/src/exceptions.rs:
+crates/census/src/gray_fraction.rs:
+crates/census/src/higher_k.rs:
+crates/census/src/three_d.rs:
+crates/census/src/two_d.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cubemesh_census-adba0189568b494d.d: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+/root/repo/target/debug/deps/libcubemesh_census-adba0189568b494d.rlib: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+/root/repo/target/debug/deps/libcubemesh_census-adba0189568b494d.rmeta: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+crates/census/src/lib.rs:
+crates/census/src/cover.rs:
+crates/census/src/exceptions.rs:
+crates/census/src/gray_fraction.rs:
+crates/census/src/higher_k.rs:
+crates/census/src/three_d.rs:
+crates/census/src/two_d.rs:

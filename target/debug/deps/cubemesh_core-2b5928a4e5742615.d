@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cubemesh_core-2b5928a4e5742615.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_core-2b5928a4e5742615.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/construct.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/product.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

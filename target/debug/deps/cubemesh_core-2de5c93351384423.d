@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cubemesh_core-2de5c93351384423.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+/root/repo/target/debug/deps/cubemesh_core-2de5c93351384423: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/construct.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/product.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cubemesh_core-8f57bb2d597dfdc9.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+/root/repo/target/debug/deps/libcubemesh_core-8f57bb2d597dfdc9.rlib: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+/root/repo/target/debug/deps/libcubemesh_core-8f57bb2d597dfdc9.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/construct.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/product.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cubemesh_embedding-27aa7918d7e0e66b.d: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+/root/repo/target/debug/deps/libcubemesh_embedding-27aa7918d7e0e66b.rlib: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+/root/repo/target/debug/deps/libcubemesh_embedding-27aa7918d7e0e66b.rmeta: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/builders.rs:
+crates/embedding/src/map.rs:
+crates/embedding/src/metrics.rs:
+crates/embedding/src/portable.rs:
+crates/embedding/src/route.rs:
+crates/embedding/src/router.rs:
+crates/embedding/src/verify.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cubemesh_embedding-8af48e68ef148db2.d: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_embedding-8af48e68ef148db2.rmeta: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs Cargo.toml
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/builders.rs:
+crates/embedding/src/map.rs:
+crates/embedding/src/metrics.rs:
+crates/embedding/src/portable.rs:
+crates/embedding/src/route.rs:
+crates/embedding/src/router.rs:
+crates/embedding/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

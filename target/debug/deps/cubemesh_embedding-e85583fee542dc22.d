@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cubemesh_embedding-e85583fee542dc22.d: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+/root/repo/target/debug/deps/cubemesh_embedding-e85583fee542dc22: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/builders.rs:
+crates/embedding/src/map.rs:
+crates/embedding/src/metrics.rs:
+crates/embedding/src/portable.rs:
+crates/embedding/src/route.rs:
+crates/embedding/src/router.rs:
+crates/embedding/src/verify.rs:

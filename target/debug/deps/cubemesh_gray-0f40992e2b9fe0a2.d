@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cubemesh_gray-0f40992e2b9fe0a2.d: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+/root/repo/target/debug/deps/libcubemesh_gray-0f40992e2b9fe0a2.rlib: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+/root/repo/target/debug/deps/libcubemesh_gray-0f40992e2b9fe0a2.rmeta: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+crates/gray/src/lib.rs:
+crates/gray/src/axis.rs:
+crates/gray/src/code.rs:
+crates/gray/src/ring.rs:

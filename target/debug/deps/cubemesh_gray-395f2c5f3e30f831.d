@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cubemesh_gray-395f2c5f3e30f831.d: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_gray-395f2c5f3e30f831.rmeta: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs Cargo.toml
+
+crates/gray/src/lib.rs:
+crates/gray/src/axis.rs:
+crates/gray/src/code.rs:
+crates/gray/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cubemesh_gray-7a4ccd2d1d9e75d6.d: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_gray-7a4ccd2d1d9e75d6.rmeta: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs Cargo.toml
+
+crates/gray/src/lib.rs:
+crates/gray/src/axis.rs:
+crates/gray/src/code.rs:
+crates/gray/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cubemesh_gray-da061b9bc0f8a4fc.d: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+/root/repo/target/debug/deps/cubemesh_gray-da061b9bc0f8a4fc: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+crates/gray/src/lib.rs:
+crates/gray/src/axis.rs:
+crates/gray/src/code.rs:
+crates/gray/src/ring.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh_manytoone-1ed5f1d88ee85cfe.d: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/debug/deps/cubemesh_manytoone-1ed5f1d88ee85cfe: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+crates/manytoone/src/lib.rs:
+crates/manytoone/src/contract.rs:
+crates/manytoone/src/fold_cube.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh_manytoone-534d202068dcd0c5.d: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/debug/deps/cubemesh_manytoone-534d202068dcd0c5: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+crates/manytoone/src/lib.rs:
+crates/manytoone/src/contract.rs:
+crates/manytoone/src/fold_cube.rs:

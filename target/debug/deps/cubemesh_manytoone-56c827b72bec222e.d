@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh_manytoone-56c827b72bec222e.d: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/debug/deps/libcubemesh_manytoone-56c827b72bec222e.rlib: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/debug/deps/libcubemesh_manytoone-56c827b72bec222e.rmeta: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+crates/manytoone/src/lib.rs:
+crates/manytoone/src/contract.rs:
+crates/manytoone/src/fold_cube.rs:

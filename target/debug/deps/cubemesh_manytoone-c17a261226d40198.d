@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cubemesh_manytoone-c17a261226d40198.d: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_manytoone-c17a261226d40198.rmeta: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs Cargo.toml
+
+crates/manytoone/src/lib.rs:
+crates/manytoone/src/contract.rs:
+crates/manytoone/src/fold_cube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh_manytoone-eaa5ae2f8142e52d.d: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/debug/deps/libcubemesh_manytoone-eaa5ae2f8142e52d.rlib: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/debug/deps/libcubemesh_manytoone-eaa5ae2f8142e52d.rmeta: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+crates/manytoone/src/lib.rs:
+crates/manytoone/src/contract.rs:
+crates/manytoone/src/fold_cube.rs:

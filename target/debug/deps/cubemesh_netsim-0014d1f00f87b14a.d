@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cubemesh_netsim-0014d1f00f87b14a.d: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/libcubemesh_netsim-0014d1f00f87b14a.rlib: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/libcubemesh_netsim-0014d1f00f87b14a.rmeta: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/workload.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cubemesh_netsim-12470aad514f6b49.d: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/cubemesh_netsim-12470aad514f6b49: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/workload.rs:

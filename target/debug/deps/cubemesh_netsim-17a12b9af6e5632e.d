@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cubemesh_netsim-17a12b9af6e5632e.d: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/cubemesh_netsim-17a12b9af6e5632e: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cubemesh_netsim-1af6c1ae19dd7e17.d: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_netsim-1af6c1ae19dd7e17.rmeta: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cubemesh_netsim-1d5fdd512241cb04.d: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/libcubemesh_netsim-1d5fdd512241cb04.rlib: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/libcubemesh_netsim-1d5fdd512241cb04.rmeta: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/workload.rs:

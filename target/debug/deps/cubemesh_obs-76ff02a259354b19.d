@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cubemesh_obs-76ff02a259354b19.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_obs-76ff02a259354b19.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

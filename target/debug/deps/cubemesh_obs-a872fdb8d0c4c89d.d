@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cubemesh_obs-a872fdb8d0c4c89d.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/cubemesh_obs-a872fdb8d0c4c89d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/span.rs:

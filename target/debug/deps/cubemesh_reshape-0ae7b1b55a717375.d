@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh_reshape-0ae7b1b55a717375.d: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/debug/deps/cubemesh_reshape-0ae7b1b55a717375: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+crates/reshape/src/lib.rs:
+crates/reshape/src/fold.rs:
+crates/reshape/src/snake.rs:

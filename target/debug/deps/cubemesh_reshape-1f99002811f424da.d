@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh_reshape-1f99002811f424da.d: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/debug/deps/libcubemesh_reshape-1f99002811f424da.rlib: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/debug/deps/libcubemesh_reshape-1f99002811f424da.rmeta: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+crates/reshape/src/lib.rs:
+crates/reshape/src/fold.rs:
+crates/reshape/src/snake.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cubemesh_reshape-5e67e72e63afa3bf.d: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/debug/deps/cubemesh_reshape-5e67e72e63afa3bf: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+crates/reshape/src/lib.rs:
+crates/reshape/src/fold.rs:
+crates/reshape/src/snake.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh_reshape-8790d3e326be8201.d: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/debug/deps/libcubemesh_reshape-8790d3e326be8201.rlib: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/debug/deps/libcubemesh_reshape-8790d3e326be8201.rmeta: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+crates/reshape/src/lib.rs:
+crates/reshape/src/fold.rs:
+crates/reshape/src/snake.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cubemesh_reshape-a34aff1d5aa33ce8.d: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_reshape-a34aff1d5aa33ce8.rmeta: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs Cargo.toml
+
+crates/reshape/src/lib.rs:
+crates/reshape/src/fold.rs:
+crates/reshape/src/snake.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

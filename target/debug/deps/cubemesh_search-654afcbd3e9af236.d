@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cubemesh_search-654afcbd3e9af236.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+/root/repo/target/debug/deps/libcubemesh_search-654afcbd3e9af236.rlib: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+/root/repo/target/debug/deps/libcubemesh_search-654afcbd3e9af236.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+crates/search/src/lib.rs:
+crates/search/src/anneal.rs:
+crates/search/src/backtrack.rs:
+crates/search/src/catalog.rs:
+crates/search/src/routes.rs:
+crates/search/src/catalog_data.rs:

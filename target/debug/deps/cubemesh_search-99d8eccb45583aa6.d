@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cubemesh_search-99d8eccb45583aa6.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+/root/repo/target/debug/deps/cubemesh_search-99d8eccb45583aa6: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+crates/search/src/lib.rs:
+crates/search/src/anneal.rs:
+crates/search/src/backtrack.rs:
+crates/search/src/catalog.rs:
+crates/search/src/routes.rs:
+crates/search/src/catalog_data.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cubemesh_search-d137f4ed15abd081.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_search-d137f4ed15abd081.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs Cargo.toml
+
+crates/search/src/lib.rs:
+crates/search/src/anneal.rs:
+crates/search/src/backtrack.rs:
+crates/search/src/catalog.rs:
+crates/search/src/routes.rs:
+crates/search/src/catalog_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

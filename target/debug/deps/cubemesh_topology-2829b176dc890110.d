@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cubemesh_topology-2829b176dc890110.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_topology-2829b176dc890110.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/hamming.rs:
+crates/topology/src/hypercube.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/product.rs:
+crates/topology/src/shape.rs:
+crates/topology/src/torus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

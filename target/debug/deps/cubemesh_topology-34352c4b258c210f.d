@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cubemesh_topology-34352c4b258c210f.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+/root/repo/target/debug/deps/cubemesh_topology-34352c4b258c210f: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/hamming.rs:
+crates/topology/src/hypercube.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/product.rs:
+crates/topology/src/shape.rs:
+crates/topology/src/torus.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cubemesh_topology-edfed3f7b74694ea.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+/root/repo/target/debug/deps/libcubemesh_topology-edfed3f7b74694ea.rlib: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+/root/repo/target/debug/deps/libcubemesh_topology-edfed3f7b74694ea.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/hamming.rs:
+crates/topology/src/hypercube.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/product.rs:
+crates/topology/src/shape.rs:
+crates/topology/src/torus.rs:

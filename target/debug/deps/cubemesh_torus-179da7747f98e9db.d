@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh_torus-179da7747f98e9db.d: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/debug/deps/cubemesh_torus-179da7747f98e9db: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/axis.rs:
+crates/torus/src/build.rs:
+crates/torus/src/driver.rs:
+crates/torus/src/predicates.rs:

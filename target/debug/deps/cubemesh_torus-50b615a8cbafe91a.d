@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cubemesh_torus-50b615a8cbafe91a.d: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcubemesh_torus-50b615a8cbafe91a.rmeta: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs Cargo.toml
+
+crates/torus/src/lib.rs:
+crates/torus/src/axis.rs:
+crates/torus/src/build.rs:
+crates/torus/src/driver.rs:
+crates/torus/src/predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

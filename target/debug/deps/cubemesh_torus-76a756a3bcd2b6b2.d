@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cubemesh_torus-76a756a3bcd2b6b2.d: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/debug/deps/cubemesh_torus-76a756a3bcd2b6b2: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/axis.rs:
+crates/torus/src/build.rs:
+crates/torus/src/driver.rs:
+crates/torus/src/predicates.rs:

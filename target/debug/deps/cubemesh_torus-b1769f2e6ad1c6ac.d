@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cubemesh_torus-b1769f2e6ad1c6ac.d: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/debug/deps/libcubemesh_torus-b1769f2e6ad1c6ac.rlib: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/debug/deps/libcubemesh_torus-b1769f2e6ad1c6ac.rmeta: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/axis.rs:
+crates/torus/src/build.rs:
+crates/torus/src/driver.rs:
+crates/torus/src/predicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discover-1173301c25111bb5.d: crates/search/src/bin/discover.rs
+
+/root/repo/target/debug/deps/discover-1173301c25111bb5: crates/search/src/bin/discover.rs
+
+crates/search/src/bin/discover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discover-26c27b7d676f5780.d: crates/search/src/bin/discover.rs
+
+/root/repo/target/debug/deps/discover-26c27b7d676f5780: crates/search/src/bin/discover.rs
+
+crates/search/src/bin/discover.rs:

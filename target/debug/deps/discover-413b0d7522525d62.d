@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/discover-413b0d7522525d62.d: crates/search/src/bin/discover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiscover-413b0d7522525d62.rmeta: crates/search/src/bin/discover.rs Cargo.toml
+
+crates/search/src/bin/discover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discover-ece7a89d3e8fdc03.d: crates/search/src/bin/discover.rs
+
+/root/repo/target/debug/deps/discover-ece7a89d3e8fdc03: crates/search/src/bin/discover.rs
+
+crates/search/src/bin/discover.rs:

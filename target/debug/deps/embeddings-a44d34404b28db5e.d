@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/embeddings-a44d34404b28db5e.d: crates/bench/benches/embeddings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libembeddings-a44d34404b28db5e.rmeta: crates/bench/benches/embeddings.rs Cargo.toml
+
+crates/bench/benches/embeddings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-06dc61a8ba08c44e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-06dc61a8ba08c44e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

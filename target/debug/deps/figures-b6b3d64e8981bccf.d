@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b6b3d64e8981bccf.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-b6b3d64e8981bccf: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-eb42d3e42df776a1.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-eb42d3e42df776a1: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_crosscheck-172a8198270074b6.d: tests/metrics_crosscheck.rs
+
+/root/repo/target/debug/deps/metrics_crosscheck-172a8198270074b6: tests/metrics_crosscheck.rs
+
+tests/metrics_crosscheck.rs:

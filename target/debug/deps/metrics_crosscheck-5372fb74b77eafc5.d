@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_crosscheck-5372fb74b77eafc5.d: tests/metrics_crosscheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_crosscheck-5372fb74b77eafc5.rmeta: tests/metrics_crosscheck.rs Cargo.toml
+
+tests/metrics_crosscheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

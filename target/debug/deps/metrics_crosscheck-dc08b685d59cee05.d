@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_crosscheck-dc08b685d59cee05.d: tests/metrics_crosscheck.rs
+
+/root/repo/target/debug/deps/metrics_crosscheck-dc08b685d59cee05: tests/metrics_crosscheck.rs
+
+tests/metrics_crosscheck.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-f3a1472f674cbb54.d: crates/bench/benches/netsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-f3a1472f674cbb54.rmeta: crates/bench/benches/netsim.rs Cargo.toml
+
+crates/bench/benches/netsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netsim_integration-015106a44ac12b58.d: tests/netsim_integration.rs
+
+/root/repo/target/debug/deps/netsim_integration-015106a44ac12b58: tests/netsim_integration.rs
+
+tests/netsim_integration.rs:

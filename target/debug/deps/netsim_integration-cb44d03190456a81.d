@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netsim_integration-cb44d03190456a81.d: tests/netsim_integration.rs
+
+/root/repo/target/debug/deps/netsim_integration-cb44d03190456a81: tests/netsim_integration.rs
+
+tests/netsim_integration.rs:

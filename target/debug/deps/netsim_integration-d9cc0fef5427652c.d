@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim_integration-d9cc0fef5427652c.d: tests/netsim_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim_integration-d9cc0fef5427652c.rmeta: tests/netsim_integration.rs Cargo.toml
+
+tests/netsim_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_stats-5678653688852d00.d: tests/obs_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_stats-5678653688852d00.rmeta: tests/obs_stats.rs Cargo.toml
+
+tests/obs_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_stats-6056224c61d2abdf.d: tests/obs_stats.rs
+
+/root/repo/target/debug/deps/obs_stats-6056224c61d2abdf: tests/obs_stats.rs
+
+tests/obs_stats.rs:

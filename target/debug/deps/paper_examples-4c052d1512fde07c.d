@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-4c052d1512fde07c.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-4c052d1512fde07c: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-89f349a49d73f594.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-89f349a49d73f594: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_coverage-49f1df000d17d5ee.d: tests/planner_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_coverage-49f1df000d17d5ee.rmeta: tests/planner_coverage.rs Cargo.toml
+
+tests/planner_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

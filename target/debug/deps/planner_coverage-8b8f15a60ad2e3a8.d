@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_coverage-8b8f15a60ad2e3a8.d: tests/planner_coverage.rs
+
+/root/repo/target/debug/deps/planner_coverage-8b8f15a60ad2e3a8: tests/planner_coverage.rs
+
+tests/planner_coverage.rs:

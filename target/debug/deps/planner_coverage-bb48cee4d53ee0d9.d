@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_coverage-bb48cee4d53ee0d9.d: tests/planner_coverage.rs
+
+/root/repo/target/debug/deps/planner_coverage-bb48cee4d53ee0d9: tests/planner_coverage.rs
+
+tests/planner_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/product_laws-32517a6585c1b526.d: tests/product_laws.rs
+
+/root/repo/target/debug/deps/product_laws-32517a6585c1b526: tests/product_laws.rs
+
+tests/product_laws.rs:

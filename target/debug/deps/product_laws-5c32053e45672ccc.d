@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/product_laws-5c32053e45672ccc.d: tests/product_laws.rs
+
+/root/repo/target/debug/deps/product_laws-5c32053e45672ccc: tests/product_laws.rs
+
+tests/product_laws.rs:

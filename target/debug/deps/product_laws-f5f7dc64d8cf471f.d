@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/product_laws-f5f7dc64d8cf471f.d: tests/product_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproduct_laws-f5f7dc64d8cf471f.rmeta: tests/product_laws.rs Cargo.toml
+
+tests/product_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

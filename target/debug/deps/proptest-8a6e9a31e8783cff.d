@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8a6e9a31e8783cff.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8a6e9a31e8783cff.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

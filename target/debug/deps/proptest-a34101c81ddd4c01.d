@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a34101c81ddd4c01.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a34101c81ddd4c01.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a34101c81ddd4c01.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

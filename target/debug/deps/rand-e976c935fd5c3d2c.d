@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e976c935fd5c3d2c.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e976c935fd5c3d2c.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-320db70b79d7bfbc.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-320db70b79d7bfbc.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-ad444b3240ab84ab.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ad444b3240ab84ab.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ad444b3240ab84ab.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

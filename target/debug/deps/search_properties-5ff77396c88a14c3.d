@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_properties-5ff77396c88a14c3.d: tests/search_properties.rs
+
+/root/repo/target/debug/deps/search_properties-5ff77396c88a14c3: tests/search_properties.rs
+
+tests/search_properties.rs:

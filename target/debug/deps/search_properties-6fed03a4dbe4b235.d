@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_properties-6fed03a4dbe4b235.d: tests/search_properties.rs
+
+/root/repo/target/debug/deps/search_properties-6fed03a4dbe4b235: tests/search_properties.rs
+
+tests/search_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_properties-fdb5e4dfc076baea.d: tests/search_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_properties-fdb5e4dfc076baea.rmeta: tests/search_properties.rs Cargo.toml
+
+tests/search_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

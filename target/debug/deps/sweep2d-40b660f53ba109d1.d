@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep2d-40b660f53ba109d1.d: crates/census/src/bin/sweep2d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep2d-40b660f53ba109d1.rmeta: crates/census/src/bin/sweep2d.rs Cargo.toml
+
+crates/census/src/bin/sweep2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep2d-8debe5bbd30e23dc.d: crates/census/src/bin/sweep2d.rs
+
+/root/repo/target/debug/deps/sweep2d-8debe5bbd30e23dc: crates/census/src/bin/sweep2d.rs
+
+crates/census/src/bin/sweep2d.rs:

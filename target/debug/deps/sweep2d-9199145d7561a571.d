@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep2d-9199145d7561a571.d: crates/census/src/bin/sweep2d.rs
+
+/root/repo/target/debug/deps/sweep2d-9199145d7561a571: crates/census/src/bin/sweep2d.rs
+
+crates/census/src/bin/sweep2d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep2d-b60a3896f42954af.d: crates/census/src/bin/sweep2d.rs
+
+/root/repo/target/debug/deps/sweep2d-b60a3896f42954af: crates/census/src/bin/sweep2d.rs
+
+crates/census/src/bin/sweep2d.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep2d-ea2237d7d384a2fd.d: crates/census/src/bin/sweep2d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep2d-ea2237d7d384a2fd.rmeta: crates/census/src/bin/sweep2d.rs Cargo.toml
+
+crates/census/src/bin/sweep2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

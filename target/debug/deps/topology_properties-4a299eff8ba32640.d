@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_properties-4a299eff8ba32640.d: tests/topology_properties.rs
+
+/root/repo/target/debug/deps/topology_properties-4a299eff8ba32640: tests/topology_properties.rs
+
+tests/topology_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_properties-4ff58aedd8e722dc.d: tests/topology_properties.rs
+
+/root/repo/target/debug/deps/topology_properties-4ff58aedd8e722dc: tests/topology_properties.rs
+
+tests/topology_properties.rs:

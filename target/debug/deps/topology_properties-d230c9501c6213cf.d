@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_properties-d230c9501c6213cf.d: tests/topology_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_properties-d230c9501c6213cf.rmeta: tests/topology_properties.rs Cargo.toml
+
+tests/topology_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

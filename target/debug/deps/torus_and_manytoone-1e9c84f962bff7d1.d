@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/torus_and_manytoone-1e9c84f962bff7d1.d: tests/torus_and_manytoone.rs
+
+/root/repo/target/debug/deps/torus_and_manytoone-1e9c84f962bff7d1: tests/torus_and_manytoone.rs
+
+tests/torus_and_manytoone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/torus_and_manytoone-4e8ff7d02550a091.d: tests/torus_and_manytoone.rs
+
+/root/repo/target/debug/deps/torus_and_manytoone-4e8ff7d02550a091: tests/torus_and_manytoone.rs
+
+tests/torus_and_manytoone.rs:

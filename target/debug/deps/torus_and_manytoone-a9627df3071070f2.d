@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/torus_and_manytoone-a9627df3071070f2.d: tests/torus_and_manytoone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtorus_and_manytoone-a9627df3071070f2.rmeta: tests/torus_and_manytoone.rs Cargo.toml
+
+tests/torus_and_manytoone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

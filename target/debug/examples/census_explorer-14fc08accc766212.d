@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/census_explorer-14fc08accc766212.d: examples/census_explorer.rs
+
+/root/repo/target/debug/examples/census_explorer-14fc08accc766212: examples/census_explorer.rs
+
+examples/census_explorer.rs:

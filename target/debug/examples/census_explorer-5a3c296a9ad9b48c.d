@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/census_explorer-5a3c296a9ad9b48c.d: examples/census_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcensus_explorer-5a3c296a9ad9b48c.rmeta: examples/census_explorer.rs Cargo.toml
+
+examples/census_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/census_explorer-83ecd098e215e46b.d: examples/census_explorer.rs
+
+/root/repo/target/debug/examples/census_explorer-83ecd098e215e46b: examples/census_explorer.rs
+
+examples/census_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_1919-269026567cd010a8.d: examples/partition_1919.rs
+
+/root/repo/target/debug/examples/partition_1919-269026567cd010a8: examples/partition_1919.rs
+
+examples/partition_1919.rs:

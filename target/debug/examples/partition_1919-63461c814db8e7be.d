@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_1919-63461c814db8e7be.d: examples/partition_1919.rs
+
+/root/repo/target/debug/examples/partition_1919-63461c814db8e7be: examples/partition_1919.rs
+
+examples/partition_1919.rs:

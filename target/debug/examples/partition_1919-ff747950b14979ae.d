@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_1919-ff747950b14979ae.d: examples/partition_1919.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_1919-ff747950b14979ae.rmeta: examples/partition_1919.rs Cargo.toml
+
+examples/partition_1919.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

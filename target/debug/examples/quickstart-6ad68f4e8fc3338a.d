@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6ad68f4e8fc3338a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6ad68f4e8fc3338a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8a06c7e4070f067e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8a06c7e4070f067e: examples/quickstart.rs
+
+examples/quickstart.rs:

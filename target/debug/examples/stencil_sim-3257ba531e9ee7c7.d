@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_sim-3257ba531e9ee7c7.d: examples/stencil_sim.rs
+
+/root/repo/target/debug/examples/stencil_sim-3257ba531e9ee7c7: examples/stencil_sim.rs
+
+examples/stencil_sim.rs:

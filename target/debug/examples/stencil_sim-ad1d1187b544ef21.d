@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stencil_sim-ad1d1187b544ef21.d: examples/stencil_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstencil_sim-ad1d1187b544ef21.rmeta: examples/stencil_sim.rs Cargo.toml
+
+examples/stencil_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

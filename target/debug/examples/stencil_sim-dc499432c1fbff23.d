@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_sim-dc499432c1fbff23.d: examples/stencil_sim.rs
+
+/root/repo/target/debug/examples/stencil_sim-dc499432c1fbff23: examples/stencil_sim.rs
+
+examples/stencil_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/torus_ring-111b134ae43ef872.d: examples/torus_ring.rs
+
+/root/repo/target/debug/examples/torus_ring-111b134ae43ef872: examples/torus_ring.rs
+
+examples/torus_ring.rs:

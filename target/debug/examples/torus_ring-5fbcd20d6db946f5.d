@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/torus_ring-5fbcd20d6db946f5.d: examples/torus_ring.rs
+
+/root/repo/target/debug/examples/torus_ring-5fbcd20d6db946f5: examples/torus_ring.rs
+
+examples/torus_ring.rs:

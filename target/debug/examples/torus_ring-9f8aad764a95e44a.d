@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/torus_ring-9f8aad764a95e44a.d: examples/torus_ring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtorus_ring-9f8aad764a95e44a.rmeta: examples/torus_ring.rs Cargo.toml
+
+examples/torus_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cubemesh-02141bb97b7b8348.d: src/bin/cubemesh.rs
+
+/root/repo/target/release/deps/cubemesh-02141bb97b7b8348: src/bin/cubemesh.rs
+
+src/bin/cubemesh.rs:

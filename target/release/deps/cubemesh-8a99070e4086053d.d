@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cubemesh-8a99070e4086053d.d: src/lib.rs
+
+/root/repo/target/release/deps/libcubemesh-8a99070e4086053d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcubemesh-8a99070e4086053d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cubemesh-a2ae95af0aaa7c13.d: src/lib.rs
+
+/root/repo/target/release/deps/libcubemesh-a2ae95af0aaa7c13.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcubemesh-a2ae95af0aaa7c13.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cubemesh-f3f6caa90e4c06cc.d: src/bin/cubemesh.rs
+
+/root/repo/target/release/deps/cubemesh-f3f6caa90e4c06cc: src/bin/cubemesh.rs
+
+src/bin/cubemesh.rs:

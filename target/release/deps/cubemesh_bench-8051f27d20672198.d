@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cubemesh_bench-8051f27d20672198.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcubemesh_bench-8051f27d20672198.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcubemesh_bench-8051f27d20672198.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

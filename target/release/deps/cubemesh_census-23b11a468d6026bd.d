@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cubemesh_census-23b11a468d6026bd.d: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+/root/repo/target/release/deps/libcubemesh_census-23b11a468d6026bd.rlib: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+/root/repo/target/release/deps/libcubemesh_census-23b11a468d6026bd.rmeta: crates/census/src/lib.rs crates/census/src/cover.rs crates/census/src/exceptions.rs crates/census/src/gray_fraction.rs crates/census/src/higher_k.rs crates/census/src/three_d.rs crates/census/src/two_d.rs
+
+crates/census/src/lib.rs:
+crates/census/src/cover.rs:
+crates/census/src/exceptions.rs:
+crates/census/src/gray_fraction.rs:
+crates/census/src/higher_k.rs:
+crates/census/src/three_d.rs:
+crates/census/src/two_d.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cubemesh_core-2438edac84fcb28b.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+/root/repo/target/release/deps/libcubemesh_core-2438edac84fcb28b.rlib: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+/root/repo/target/release/deps/libcubemesh_core-2438edac84fcb28b.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/construct.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/product.rs:

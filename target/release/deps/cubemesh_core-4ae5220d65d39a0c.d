@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cubemesh_core-4ae5220d65d39a0c.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+/root/repo/target/release/deps/libcubemesh_core-4ae5220d65d39a0c.rlib: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+/root/repo/target/release/deps/libcubemesh_core-4ae5220d65d39a0c.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/construct.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/product.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/construct.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/product.rs:

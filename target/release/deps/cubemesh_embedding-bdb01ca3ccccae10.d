@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cubemesh_embedding-bdb01ca3ccccae10.d: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+/root/repo/target/release/deps/libcubemesh_embedding-bdb01ca3ccccae10.rlib: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+/root/repo/target/release/deps/libcubemesh_embedding-bdb01ca3ccccae10.rmeta: crates/embedding/src/lib.rs crates/embedding/src/builders.rs crates/embedding/src/map.rs crates/embedding/src/metrics.rs crates/embedding/src/portable.rs crates/embedding/src/route.rs crates/embedding/src/router.rs crates/embedding/src/verify.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/builders.rs:
+crates/embedding/src/map.rs:
+crates/embedding/src/metrics.rs:
+crates/embedding/src/portable.rs:
+crates/embedding/src/route.rs:
+crates/embedding/src/router.rs:
+crates/embedding/src/verify.rs:

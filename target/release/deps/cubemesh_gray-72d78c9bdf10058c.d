@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cubemesh_gray-72d78c9bdf10058c.d: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+/root/repo/target/release/deps/libcubemesh_gray-72d78c9bdf10058c.rlib: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+/root/repo/target/release/deps/libcubemesh_gray-72d78c9bdf10058c.rmeta: crates/gray/src/lib.rs crates/gray/src/axis.rs crates/gray/src/code.rs crates/gray/src/ring.rs
+
+crates/gray/src/lib.rs:
+crates/gray/src/axis.rs:
+crates/gray/src/code.rs:
+crates/gray/src/ring.rs:

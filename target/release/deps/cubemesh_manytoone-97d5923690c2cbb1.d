@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cubemesh_manytoone-97d5923690c2cbb1.d: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/release/deps/libcubemesh_manytoone-97d5923690c2cbb1.rlib: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/release/deps/libcubemesh_manytoone-97d5923690c2cbb1.rmeta: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+crates/manytoone/src/lib.rs:
+crates/manytoone/src/contract.rs:
+crates/manytoone/src/fold_cube.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cubemesh_manytoone-e4e146ea82194a16.d: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/release/deps/libcubemesh_manytoone-e4e146ea82194a16.rlib: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+/root/repo/target/release/deps/libcubemesh_manytoone-e4e146ea82194a16.rmeta: crates/manytoone/src/lib.rs crates/manytoone/src/contract.rs crates/manytoone/src/fold_cube.rs
+
+crates/manytoone/src/lib.rs:
+crates/manytoone/src/contract.rs:
+crates/manytoone/src/fold_cube.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cubemesh_netsim-1ed549943c7f8918.d: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/release/deps/libcubemesh_netsim-1ed549943c7f8918.rlib: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+/root/repo/target/release/deps/libcubemesh_netsim-1ed549943c7f8918.rmeta: crates/netsim/src/lib.rs crates/netsim/src/routing.rs crates/netsim/src/sim.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cubemesh_obs-4d4421a06b486e86.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcubemesh_obs-4d4421a06b486e86.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcubemesh_obs-4d4421a06b486e86.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cubemesh_reshape-5df2f40deb317aca.d: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/release/deps/libcubemesh_reshape-5df2f40deb317aca.rlib: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/release/deps/libcubemesh_reshape-5df2f40deb317aca.rmeta: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+crates/reshape/src/lib.rs:
+crates/reshape/src/fold.rs:
+crates/reshape/src/snake.rs:

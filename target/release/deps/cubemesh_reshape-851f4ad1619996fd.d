@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cubemesh_reshape-851f4ad1619996fd.d: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/release/deps/libcubemesh_reshape-851f4ad1619996fd.rlib: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+/root/repo/target/release/deps/libcubemesh_reshape-851f4ad1619996fd.rmeta: crates/reshape/src/lib.rs crates/reshape/src/fold.rs crates/reshape/src/snake.rs
+
+crates/reshape/src/lib.rs:
+crates/reshape/src/fold.rs:
+crates/reshape/src/snake.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cubemesh_search-5dd0cf8bad0eb9b7.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+/root/repo/target/release/deps/libcubemesh_search-5dd0cf8bad0eb9b7.rlib: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+/root/repo/target/release/deps/libcubemesh_search-5dd0cf8bad0eb9b7.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+crates/search/src/lib.rs:
+crates/search/src/anneal.rs:
+crates/search/src/backtrack.rs:
+crates/search/src/catalog.rs:
+crates/search/src/routes.rs:
+crates/search/src/catalog_data.rs:

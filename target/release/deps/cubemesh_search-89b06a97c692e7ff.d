@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cubemesh_search-89b06a97c692e7ff.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+/root/repo/target/release/deps/libcubemesh_search-89b06a97c692e7ff.rlib: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+/root/repo/target/release/deps/libcubemesh_search-89b06a97c692e7ff.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/backtrack.rs crates/search/src/catalog.rs crates/search/src/routes.rs crates/search/src/catalog_data.rs
+
+crates/search/src/lib.rs:
+crates/search/src/anneal.rs:
+crates/search/src/backtrack.rs:
+crates/search/src/catalog.rs:
+crates/search/src/routes.rs:
+crates/search/src/catalog_data.rs:

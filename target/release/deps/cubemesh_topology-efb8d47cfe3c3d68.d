@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cubemesh_topology-efb8d47cfe3c3d68.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+/root/repo/target/release/deps/libcubemesh_topology-efb8d47cfe3c3d68.rlib: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+/root/repo/target/release/deps/libcubemesh_topology-efb8d47cfe3c3d68.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/hamming.rs crates/topology/src/hypercube.rs crates/topology/src/mesh.rs crates/topology/src/product.rs crates/topology/src/shape.rs crates/topology/src/torus.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/hamming.rs:
+crates/topology/src/hypercube.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/product.rs:
+crates/topology/src/shape.rs:
+crates/topology/src/torus.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cubemesh_torus-13173c3212fc199c.d: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/release/deps/libcubemesh_torus-13173c3212fc199c.rlib: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/release/deps/libcubemesh_torus-13173c3212fc199c.rmeta: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/axis.rs:
+crates/torus/src/build.rs:
+crates/torus/src/driver.rs:
+crates/torus/src/predicates.rs:

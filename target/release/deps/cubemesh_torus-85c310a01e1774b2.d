@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cubemesh_torus-85c310a01e1774b2.d: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/release/deps/libcubemesh_torus-85c310a01e1774b2.rlib: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+/root/repo/target/release/deps/libcubemesh_torus-85c310a01e1774b2.rmeta: crates/torus/src/lib.rs crates/torus/src/axis.rs crates/torus/src/build.rs crates/torus/src/driver.rs crates/torus/src/predicates.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/axis.rs:
+crates/torus/src/build.rs:
+crates/torus/src/driver.rs:
+crates/torus/src/predicates.rs:

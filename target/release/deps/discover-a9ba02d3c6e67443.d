@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/discover-a9ba02d3c6e67443.d: crates/search/src/bin/discover.rs
+
+/root/repo/target/release/deps/discover-a9ba02d3c6e67443: crates/search/src/bin/discover.rs
+
+crates/search/src/bin/discover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-bc1f892b0841df06.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-bc1f892b0841df06: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

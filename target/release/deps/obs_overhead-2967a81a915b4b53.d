@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-2967a81a915b4b53.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-2967a81a915b4b53: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

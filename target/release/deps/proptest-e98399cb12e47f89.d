@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e98399cb12e47f89.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e98399cb12e47f89.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e98399cb12e47f89.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3b3f86f6ef84521c.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3b3f86f6ef84521c.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3b3f86f6ef84521c.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-1d98526e2c60fe77.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-1d98526e2c60fe77.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-1d98526e2c60fe77.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep2d-17474087aa491d8d.d: crates/census/src/bin/sweep2d.rs
+
+/root/repo/target/release/deps/sweep2d-17474087aa491d8d: crates/census/src/bin/sweep2d.rs
+
+crates/census/src/bin/sweep2d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8d1f3249d10fedf5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8d1f3249d10fedf5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,16 +1,12 @@
 //! Cross-check the sort-based metrics engine against a naive
 //! recomputation, on randomized embeddings.
 
-use cubemesh::embedding::{
-    mesh_embedding_with_router, RouteStrategy,
-};
+use cubemesh::embedding::{mesh_embedding_with_router, RouteStrategy};
 use cubemesh::topology::{Hypercube, Shape};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn naive_metrics(
-    emb: &cubemesh::embedding::Embedding,
-) -> (u32, f64, u32, f64) {
+fn naive_metrics(emb: &cubemesh::embedding::Embedding) -> (u32, f64, u32, f64) {
     let mut dilation = 0u32;
     let mut total = 0u64;
     let mut cong: HashMap<(u64, u64), u32> = HashMap::new();
@@ -32,7 +28,11 @@ fn naive_metrics(
             total as f64 / emb.guest_edges().len() as f64
         },
         cong.values().copied().max().unwrap_or(0),
-        if host_edges == 0 { 0.0 } else { total as f64 / host_edges as f64 },
+        if host_edges == 0 {
+            0.0
+        } else {
+            total as f64 / host_edges as f64
+        },
     )
 }
 

@@ -1,0 +1,62 @@
+//! End-to-end checks of the instrumentation layer against real planner
+//! runs: expected rule counters after planning 21×9×5, and snapshot JSON
+//! round-tripping.
+//!
+//! The obs registry and enable switch are process-global, so everything
+//! lives in one `#[test]` — integration tests in this file would otherwise
+//! race each other under the parallel test runner.
+
+use cubemesh::core::Planner;
+use cubemesh::obs;
+use cubemesh::topology::Shape;
+
+#[test]
+fn planning_21x9x5_bumps_planner_counters() {
+    obs::set_enabled(true);
+    obs::reset();
+
+    let plan = Planner::new().plan(&Shape::new(&[21, 9, 5]));
+    assert!(plan.is_some(), "21x9x5 is a worked example of the paper");
+
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+
+    // The planner must have recursed: 21×9×5 decomposes (the paper's §4.2
+    // worked example), so sub-shapes were planned and memoized.
+    let misses = snap.counter("planner.memo.miss").unwrap_or(0);
+    assert!(
+        misses >= 2,
+        "expected recursive sub-plans, got {misses} misses"
+    );
+
+    // Every rule the planner tries on a 3-D shape records an attempt.
+    for rule in ["gray", "direct", "direct_ext", "peel_pow2"] {
+        let name = format!("planner.rule.{rule}.attempt");
+        let n = snap.counter(&name).unwrap_or(0);
+        assert!(n >= 1, "{name} never bumped");
+    }
+
+    // Exactly one rule family succeeded at the top level; at least one
+    // `.hit` must exist somewhere in the recursion.
+    let hits: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("planner.rule.") && k.ends_with(".hit"))
+        .map(|(_, &v)| v)
+        .sum();
+    assert!(hits >= 1, "a plan was produced but no rule recorded a hit");
+
+    // Recursion depth histogram saw every plan_dims level.
+    let depth = snap.histogram("planner.depth").expect("depth histogram");
+    assert_eq!(depth.count, misses, "one depth sample per memo miss");
+    assert!(depth.max >= 1);
+
+    // The snapshot survives a JSON round trip bit-for-bit.
+    let json = snap.to_json();
+    let back = obs::Snapshot::from_json(&json).expect("own JSON parses");
+    assert_eq!(snap, back, "JSON round trip must be lossless");
+
+    // And the text rendering carries the derived memo hit rate.
+    let text = snap.to_text();
+    assert!(text.contains("planner.memo.hit_rate"), "{text}");
+}

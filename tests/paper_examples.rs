@@ -57,9 +57,7 @@ fn pairing_examples() {
     let total = cube_dim(l.iter().product());
     let minimal_pairings = [(0, 1, 2), (1, 2, 0), (2, 0, 1)]
         .iter()
-        .filter(|&&(a, b, c)| {
-            cube_dim(l[a] * l[b]) + cube_dim(l[c]) == total
-        })
+        .filter(|&&(a, b, c)| cube_dim(l[a] * l[b]) + cube_dim(l[c]) == total)
         .count();
     assert!(minimal_pairings >= 2, "got {}", minimal_pairings);
 

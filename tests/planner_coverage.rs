@@ -17,8 +17,7 @@ fn all_plans_construct_and_verify_small_domain() {
                 let shape = Shape::new(&[a, b, c]);
                 if let Some(plan) = planner.plan(&shape) {
                     let emb = construct(&shape, &plan);
-                    emb.verify()
-                        .unwrap_or_else(|e| panic!("{}: {}", shape, e));
+                    emb.verify().unwrap_or_else(|e| panic!("{}: {}", shape, e));
                     let m = emb.metrics();
                     assert!(m.is_minimal_expansion(), "{}", shape);
                     assert!(

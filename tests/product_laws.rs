@@ -92,7 +92,11 @@ fn average_dilation_improves_with_gray_factor() {
         assert!(avg < last, "avg dilation should fall: {} vs {}", avg, last);
         last = avg;
     }
-    assert!(last < 1.2, "large Gray factors push avg dilation toward 1: {}", last);
+    assert!(
+        last < 1.2,
+        "large Gray factors push avg dilation toward 1: {}",
+        last
+    );
 }
 
 /// Product with a single-node factor is the identity on metrics.

@@ -99,7 +99,10 @@ fn budget_monotonicity() {
             node_budget: budget,
             shuffle_seed: None,
         };
-        let found = matches!(find_embedding(&guest, &order, &cfg), SearchOutcome::Found(_));
+        let found = matches!(
+            find_embedding(&guest, &order, &cfg),
+            SearchOutcome::Found(_)
+        );
         assert!(!last_found || found, "budget {} lost a solution", budget);
         last_found = found;
     }
@@ -119,7 +122,10 @@ fn catalog_shapes_rediscoverable() {
         let order: Vec<u32> = (0..guest.nodes() as u32).collect();
         let cfg = SearchConfig::dilation2_minimal(guest.nodes());
         assert!(
-            matches!(find_embedding(&guest, &order, &cfg), SearchOutcome::Found(_)),
+            matches!(
+                find_embedding(&guest, &order, &cfg),
+                SearchOutcome::Found(_)
+            ),
             "{:?}",
             entry.dims
         );

@@ -2,9 +2,7 @@
 //! crate builds on.
 
 use cubemesh::gray::{gray, gray_inverse};
-use cubemesh::topology::{
-    ceil_pow2, cube_dim, hamming, product, Hypercube, Mesh, Shape, Torus,
-};
+use cubemesh::topology::{ceil_pow2, cube_dim, hamming, product, Hypercube, Mesh, Shape, Torus};
 use proptest::prelude::*;
 
 proptest! {

@@ -4,9 +4,7 @@
 use cubemesh::embedding::{load_factor, verify_many_to_one};
 use cubemesh::manytoone::{contract, corollary5, optimal_load_factor};
 use cubemesh::topology::Shape;
-use cubemesh::torus::{
-    corollary3_dilation2, corollary3_dilation3, embed_torus,
-};
+use cubemesh::torus::{corollary3_dilation2, corollary3_dilation3, embed_torus};
 
 /// Corollary 3, measured: every 2-D torus its predicate claims at
 /// dilation ≤ 2 embeds at dilation ≤ 2 when the driver finds a plan;
@@ -153,13 +151,7 @@ fn corollary5_sweep() {
             assert_eq!(emb.metrics().dilation, 1, "{:?}", dims);
             let lf = load_factor(emb.map(), emb.host()) as u64;
             let opt = optimal_load_factor(shape.nodes(), n);
-            assert!(
-                lf <= 2 * opt,
-                "{:?}: load {} vs optimal {}",
-                dims,
-                lf,
-                opt
-            );
+            assert!(lf <= 2 * opt, "{:?}: load {} vs optimal {}", dims, lf, opt);
             found += 1;
         }
     }
