@@ -1,0 +1,136 @@
+//! The `cubemesh-audit` gate binary.
+//!
+//! ```text
+//! cubemesh-audit lint [--root DIR] [--allowlist FILE]
+//!     Run the workspace lints; print violations; exit 1 on any.
+//! cubemesh-audit certify L1 [L2 L3 ...]
+//!     Plan one shape and print its static certificate.
+//! cubemesh-audit selfcheck [--max-axis N] [--construct-cap N]
+//!     Certify every planner output for all canonical meshes within
+//!     N^3 (default 32) and cross-check constructed embeddings up to
+//!     the node cap (default 4096) against their certificates.
+//! ```
+//!
+//! Every subcommand accepts `--stats` to print an instrumentation
+//! snapshot after the run (`CUBEMESH_STATS=text|json` does the same).
+
+use cubemesh_audit::{lint_workspace, sweep, Allowlist};
+use cubemesh_core::Planner;
+use cubemesh_obs as obs;
+use cubemesh_topology::Shape;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    obs::init_from_env();
+    if args.iter().any(|a| a == "--stats") {
+        args.retain(|a| a != "--stats");
+        if obs::mode() == obs::StatsMode::Off {
+            obs::set_mode(obs::StatsMode::Text);
+        }
+    }
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: cubemesh-audit <lint|certify|selfcheck> ... [--stats]");
+        return ExitCode::from(2);
+    };
+    let code = match cmd.as_str() {
+        "lint" => cmd_lint(rest),
+        "certify" => cmd_certify(rest),
+        "selfcheck" => cmd_selfcheck(rest),
+        other => {
+            eprintln!("unknown subcommand '{other}'");
+            ExitCode::from(2)
+        }
+    };
+    obs::report();
+    code
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_owned()));
+    let allow_path = flag_value(args, "--allowlist")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("audit-allowlist.txt"));
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cubemesh-audit: bad allowlist: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let entries = allow.len();
+    match lint_workspace(&root, allow) {
+        Ok(violations) if violations.is_empty() => {
+            println!("audit lint: clean ({entries} allowlist entries)");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("audit lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cubemesh-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_certify(args: &[String]) -> ExitCode {
+    let dims: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    if dims.is_empty() {
+        eprintln!("usage: cubemesh-audit certify L1 [L2 L3 ...]");
+        return ExitCode::from(2);
+    }
+    let shape = Shape::new(&dims);
+    match Planner::new().plan(&shape) {
+        None => {
+            println!("{shape}: no plan (open case)");
+            ExitCode::FAILURE
+        }
+        Some(plan) => match cubemesh_audit::check_plan(&shape, &plan) {
+            Ok(cert) => {
+                println!("{shape}: plan {plan}");
+                println!("{shape}: certificate {cert}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{shape}: certification FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn cmd_selfcheck(args: &[String]) -> ExitCode {
+    let max_axis: usize = flag_value(args, "--max-axis")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let cap: usize = flag_value(args, "--construct-cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    match sweep(max_axis, cap) {
+        Ok(report) => {
+            println!(
+                "audit selfcheck: {} shapes <= {max_axis}^3: {} certified, \
+                 {} constructed+measured, {} open",
+                report.shapes, report.certified, report.constructed, report.unplanned
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("audit selfcheck FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Static (dilation, congestion, expansion) certificates for [`Plan`] trees.
+//!
+//! The paper's composition results are *compositional*: Theorem 3 says a
+//! product embedding inherits `d = max(d₁, d₂)`, `c = max(c₁, c₂)` and
+//! `ε = ε₁·ε₂`, and Corollary 2 extends this to meshes that are subgraphs
+//! of a per-axis product `f1 ⊙ f2`. A plan's figures of merit are therefore
+//! derivable *without constructing the embedding*: walk the tree bottom-up,
+//! checking the theorem preconditions at every node, and combine leaf
+//! bounds by max/max/sum-of-host-dims.
+//!
+//! [`certify`] performs that walk and returns a [`Certificate`], or a
+//! precise [`AuditError`] naming the first precondition the plan violates.
+//! It also asserts known *lower-bound floors*: a mesh whose Gray dimension
+//! `Σ⌈log₂ ℓᵢ⌉` exceeds the certified host dimension is not a subgraph of
+//! the host cube (Havel–Morávek; see also the hypercube lower-bound
+//! results surveyed in PAPERS.md), so any certificate claiming dilation 1
+//! for it is arithmetically impossible and is rejected rather than
+//! propagated.
+
+use cubemesh_core::plan::{reduce, Plan};
+use cubemesh_search::catalog_lookup;
+use cubemesh_topology::Shape;
+use std::fmt;
+
+/// Statically derived figures of merit for one `(shape, plan)` pair.
+///
+/// Every bound is *sound*: the embedding [`cubemesh_core::construct`]
+/// builds for the same pair measures at most these values (cross-checked
+/// by [`crate::crosscheck`] and the tier-1 tests).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Certificate {
+    /// Host cube dimension (sum over the plan tree per Theorem 3).
+    pub host_dim: u32,
+    /// Worst-case dilation (max over the tree; Gray = 1, Direct = 2).
+    pub dilation_bound: u32,
+    /// Worst-case congestion (max over the tree; Gray = 1, Direct = 2).
+    pub congestion_bound: u32,
+    /// `2^host_dim / Π ℓᵢ` for the certified shape. Over a product node
+    /// this is `ε₁·ε₂` scaled by `|f1⊙f2| / |shape| ≥ 1` (the Corollary 2
+    /// subgraph slack), so Theorem 3's `ε = ε₁ε₂` law is an equality
+    /// exactly when the shape fills its factor product.
+    pub expansion: f64,
+    /// `true` when `host_dim = ⌈log₂ Πℓᵢ⌉` — minimal expansion.
+    pub minimal: bool,
+    /// Leaves (Gray/Direct pieces) in the certified tree.
+    pub leaves: usize,
+}
+
+/// Why a plan fails static certification. Each variant names the plan-tree
+/// node (by its shape) where the theorem precondition broke.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuditError {
+    /// A product node's factors do not have the rank of the planned shape,
+    /// so the per-axis product of Corollary 2 is not even defined.
+    FactorRankMismatch {
+        /// Shape at the failing node.
+        shape: Shape,
+        /// First factor.
+        f1: Shape,
+        /// Second factor.
+        f2: Shape,
+    },
+    /// Corollary 2 precondition violated: the shape exceeds `f1 ⊙ f2` on
+    /// some axis, so it is not a subgraph of the factor product.
+    FactorTooSmall {
+        /// Shape at the failing node.
+        shape: Shape,
+        /// Per-axis product `f1 ⊙ f2`.
+        product: Shape,
+        /// First axis with `shape[axis] > product[axis]`.
+        axis: usize,
+    },
+    /// A `Direct` leaf names a shape the catalog does not cover (up to
+    /// axis permutation), so no baked embedding exists to compose.
+    DirectMissingFromCatalog {
+        /// The uncovered leaf shape.
+        shape: Shape,
+    },
+    /// A `Direct` leaf's catalog entry is not in the minimal cube: its
+    /// host dimension differs from `⌈log₂ Πℓᵢ⌉`.
+    DirectNotMinimal {
+        /// The leaf shape.
+        shape: Shape,
+        /// The catalog entry's host dimension.
+        host_dim: u32,
+        /// The minimal-cube arithmetic `⌈log₂ Πℓᵢ⌉`.
+        minimal: u32,
+    },
+    /// The certificate claims a dilation below the known floor: the shape
+    /// is not a subgraph of the certified host cube
+    /// (`Σ⌈log₂ ℓᵢ⌉ > host_dim`), which forces dilation ≥ 2.
+    DilationBelowFloor {
+        /// Shape at the failing node.
+        shape: Shape,
+        /// Certified host dimension.
+        host_dim: u32,
+        /// The impossible claimed dilation bound.
+        claimed: u32,
+    },
+    /// The independently derived host dimension disagrees with the plan's
+    /// own [`Plan::host_dim`] arithmetic — a planner bug either way.
+    HostDimDisagreement {
+        /// The audited shape.
+        shape: Shape,
+        /// Host dimension derived by the certificate walk.
+        derived: u32,
+        /// Host dimension the plan reports for the same shape.
+        reported: u32,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::FactorRankMismatch { shape, f1, f2 } => write!(
+                f,
+                "product node for {shape}: factors {f1} and {f2} do not match its rank"
+            ),
+            AuditError::FactorTooSmall {
+                shape,
+                product,
+                axis,
+            } => write!(
+                f,
+                "Corollary 2 precondition failed for {shape}: axis {axis} exceeds the \
+                 factor product {product}"
+            ),
+            AuditError::DirectMissingFromCatalog { shape } => {
+                write!(f, "Direct leaf {shape} is not in the embedding catalog")
+            }
+            AuditError::DirectNotMinimal {
+                shape,
+                host_dim,
+                minimal,
+            } => write!(
+                f,
+                "Direct leaf {shape}: catalog host Q_{host_dim} is not the minimal Q_{minimal}"
+            ),
+            AuditError::DilationBelowFloor {
+                shape,
+                host_dim,
+                claimed,
+            } => write!(
+                f,
+                "{shape} is not a subgraph of Q_{host_dim} (gray dim {} > {host_dim}), \
+                 yet the plan claims dilation {claimed} < 2",
+                shape.gray_cube_dim()
+            ),
+            AuditError::HostDimDisagreement {
+                shape,
+                derived,
+                reported,
+            } => write!(
+                f,
+                "{shape}: certificate derives host Q_{derived} but the plan reports Q_{reported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Statically certify `plan` for `shape`: check every theorem precondition
+/// in the tree and derive the Theorem 3 bounds bottom-up, without
+/// constructing anything.
+pub fn certify(shape: &Shape, plan: &Plan) -> Result<Certificate, AuditError> {
+    let reduced = reduce(shape);
+    let mut cert = certify_reduced(&reduced, plan)?;
+    // Re-express expansion/minimality against the caller's (unreduced)
+    // shape; length-1 axes change neither node count, so this is a no-op
+    // in value but keeps the contract honest.
+    cert.expansion = expansion_of(cert.host_dim, shape.nodes());
+    cert.minimal = cert.host_dim == shape.minimal_cube_dim();
+    Ok(cert)
+}
+
+/// [`certify`] plus the consistency cross-check against the plan's own
+/// host-dimension arithmetic. This is the entry point the property tests
+/// drive: any planner output that fails here is a bug.
+pub fn check_plan(shape: &Shape, plan: &Plan) -> Result<Certificate, AuditError> {
+    let cert = certify(shape, plan)?;
+    let reported = plan.host_dim(&reduce(shape));
+    if cert.host_dim != reported {
+        return Err(AuditError::HostDimDisagreement {
+            shape: shape.clone(),
+            derived: cert.host_dim,
+            reported,
+        });
+    }
+    Ok(cert)
+}
+
+fn certify_reduced(shape: &Shape, plan: &Plan) -> Result<Certificate, AuditError> {
+    let cert = match plan {
+        Plan::Gray => leaf(shape.gray_cube_dim(), 1, shape),
+        Plan::Direct => {
+            let (entry, _) = catalog_lookup(shape).ok_or(AuditError::DirectMissingFromCatalog {
+                shape: shape.clone(),
+            })?;
+            // Minimal-cube arithmetic: every catalog entry must sit in
+            // `Q_{⌈log₂ Πℓᵢ⌉}` for Theorem 3's expansion product to stay
+            // minimal under composition.
+            let minimal = shape.minimal_cube_dim();
+            if entry.host_dim != minimal {
+                return Err(AuditError::DirectNotMinimal {
+                    shape: shape.clone(),
+                    host_dim: entry.host_dim,
+                    minimal,
+                });
+            }
+            leaf(entry.host_dim, 2, shape)
+        }
+        Plan::Product { f1, p1, f2, p2 } => {
+            if f1.rank() != shape.rank() || f2.rank() != shape.rank() {
+                return Err(AuditError::FactorRankMismatch {
+                    shape: shape.clone(),
+                    f1: f1.clone(),
+                    f2: f2.clone(),
+                });
+            }
+            let product = f1.product(f2);
+            for axis in 0..shape.rank() {
+                if shape.len(axis) > product.len(axis) {
+                    return Err(AuditError::FactorTooSmall {
+                        shape: shape.clone(),
+                        product,
+                        axis,
+                    });
+                }
+            }
+            let c1 = certify_reduced(&reduce(f1), p1)?;
+            let c2 = certify_reduced(&reduce(f2), p2)?;
+            // Theorem 3 inheritance: host dims add, dilation and
+            // congestion take the max, expansion multiplies (recomputed
+            // below from the additive host dimension).
+            Certificate {
+                host_dim: c1.host_dim + c2.host_dim,
+                dilation_bound: c1.dilation_bound.max(c2.dilation_bound),
+                congestion_bound: c1.congestion_bound.max(c2.congestion_bound),
+                expansion: expansion_of(c1.host_dim + c2.host_dim, shape.nodes()),
+                minimal: c1.host_dim + c2.host_dim == shape.minimal_cube_dim(),
+                leaves: c1.leaves + c2.leaves,
+            }
+        }
+    };
+    // Lower-bound floor at every node. Well-formed trees can never trip
+    // this (a product of Grays always hosts at least the gray dimension),
+    // so a hit means the tree or the catalog is corrupted.
+    if cert.dilation_bound < dilation_floor(shape, cert.host_dim) {
+        return Err(AuditError::DilationBelowFloor {
+            shape: shape.clone(),
+            host_dim: cert.host_dim,
+            claimed: cert.dilation_bound,
+        });
+    }
+    Ok(cert)
+}
+
+/// The provable dilation floor for embedding `shape` in `Q_{host_dim}`:
+/// a mesh is a subgraph of the cube iff `Σ⌈log₂ ℓᵢ⌉ ≤ host_dim`
+/// (Havel–Morávek), so anything failing that needs dilation ≥ 2.
+pub fn dilation_floor(shape: &Shape, host_dim: u32) -> u32 {
+    if shape.gray_cube_dim() > host_dim {
+        2
+    } else {
+        1
+    }
+}
+
+fn leaf(host_dim: u32, bound: u32, shape: &Shape) -> Certificate {
+    Certificate {
+        host_dim,
+        dilation_bound: bound,
+        congestion_bound: bound,
+        expansion: expansion_of(host_dim, shape.nodes()),
+        minimal: host_dim == shape.minimal_cube_dim(),
+        leaves: 1,
+    }
+}
+
+fn expansion_of(host_dim: u32, nodes: usize) -> f64 {
+    2f64.powi(host_dim as i32) / nodes as f64
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host Q_{} | dilation <= {} | congestion <= {} | expansion {:.3}{} | {} leaves",
+            self.host_dim,
+            self.dilation_bound,
+            self.congestion_bound,
+            self.expansion,
+            if self.minimal { " (minimal)" } else { "" },
+            self.leaves
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemesh_core::Planner;
+
+    fn certified(dims: &[usize]) -> Certificate {
+        let shape = Shape::new(dims);
+        let plan = Planner::new()
+            .plan(&shape)
+            .unwrap_or_else(|| panic!("no plan for {:?}", dims));
+        check_plan(&shape, &plan).unwrap_or_else(|e| panic!("{:?}: {}", dims, e))
+    }
+
+    #[test]
+    fn gray_leaf_certificate() {
+        let c = certified(&[4, 8, 16]);
+        assert_eq!(c.dilation_bound, 1);
+        assert_eq!(c.congestion_bound, 1);
+        assert_eq!(c.host_dim, 9);
+        assert!(c.minimal);
+        assert_eq!(c.expansion, 1.0);
+    }
+
+    #[test]
+    fn direct_leaf_certificate() {
+        let c = certified(&[3, 5]);
+        assert_eq!(c.host_dim, 4);
+        assert_eq!(c.dilation_bound, 2);
+        assert!(c.minimal);
+    }
+
+    #[test]
+    fn product_certificate_inherits_theorem3() {
+        // The paper's 12x20 = (3x5) ⊙ (4x4) example: max/max/sum.
+        let c = certified(&[12, 20]);
+        assert_eq!(c.host_dim, 8);
+        assert_eq!(c.dilation_bound, 2);
+        assert_eq!(c.congestion_bound, 2);
+        assert!(c.minimal);
+        assert_eq!(c.leaves, 2);
+    }
+
+    #[test]
+    fn length_one_axes_are_transparent() {
+        let shape = Shape::new(&[3, 1, 5]);
+        let plan = Planner::new().plan(&shape).unwrap();
+        let c = check_plan(&shape, &plan).unwrap();
+        assert_eq!(c.host_dim, 4);
+    }
+
+    #[test]
+    fn factor_too_small_is_rejected() {
+        // 12x20 does not fit in (3x5) ⊙ (2x4) = 6x20.
+        let bad = Plan::Product {
+            f1: Shape::new(&[3, 5]),
+            p1: Box::new(Plan::Direct),
+            f2: Shape::new(&[2, 4]),
+            p2: Box::new(Plan::Gray),
+        };
+        let err = certify(&Shape::new(&[12, 20]), &bad).unwrap_err();
+        assert!(matches!(err, AuditError::FactorTooSmall { axis: 0, .. }));
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let bad = Plan::Product {
+            f1: Shape::new(&[3, 5, 1]),
+            p1: Box::new(Plan::Direct),
+            f2: Shape::new(&[4, 4]),
+            p2: Box::new(Plan::Gray),
+        };
+        let err = certify(&Shape::new(&[12, 20]), &bad).unwrap_err();
+        assert!(matches!(err, AuditError::FactorRankMismatch { .. }));
+    }
+
+    #[test]
+    fn direct_off_catalog_is_rejected() {
+        // 5x5x5 is deliberately kept out of the planner catalog.
+        let err = certify(&Shape::new(&[5, 5, 5]), &Plan::Direct).unwrap_err();
+        assert!(matches!(err, AuditError::DirectMissingFromCatalog { .. }));
+    }
+
+    #[test]
+    fn dilation_floor_matches_subgraph_arithmetic() {
+        // 3x5 in its minimal Q_4: gray dim 5 > 4, so dilation ≥ 2; with
+        // one spare dimension the mesh is a cube subgraph again.
+        assert_eq!(dilation_floor(&Shape::new(&[3, 5]), 4), 2);
+        assert_eq!(dilation_floor(&Shape::new(&[3, 5]), 5), 1);
+        assert_eq!(dilation_floor(&Shape::new(&[4, 8]), 5), 1);
+    }
+
+    #[test]
+    fn direct_catalog_bounds_respect_the_floor() {
+        // The floor for a catalog entry in its minimal cube is exactly
+        // "is a Gray embedding already minimal": when it isn't, the mesh
+        // is not a cube subgraph and the Direct bound of 2 is tight.
+        for entry in cubemesh_search::catalog_entries() {
+            let shape = Shape::new(entry.dims);
+            let expected = if shape.gray_is_minimal() { 1 } else { 2 };
+            assert_eq!(
+                dilation_floor(&shape, entry.host_dim),
+                expected,
+                "{:?}",
+                entry.dims
+            );
+        }
+    }
+
+    #[test]
+    fn all_gray_products_stay_legal_and_nonminimal_plans_certify() {
+        // (3x1) ⊙ (1x5) hosts Q_2 ⊕ Q_3 = Q_5 at dilation 1 — legal
+        // (gray dim of 3x5 is 5 ≤ 5) but not minimal. The floor is
+        // unreachable from well-formed trees; this is the nearest case.
+        let plan = Plan::Product {
+            f1: Shape::new(&[3, 1]),
+            p1: Box::new(Plan::Gray),
+            f2: Shape::new(&[1, 5]),
+            p2: Box::new(Plan::Gray),
+        };
+        let c = certify(&Shape::new(&[3, 5]), &plan).unwrap();
+        assert_eq!(c.host_dim, 5);
+        assert_eq!(c.dilation_bound, 1);
+        assert!(!c.minimal);
+    }
+
+    #[test]
+    fn open_shapes_have_nothing_to_certify() {
+        assert_eq!(Planner::new().plan(&Shape::new(&[5, 5, 5])), None);
+    }
+}

@@ -1,0 +1,237 @@
+//! Certificate-vs-construction cross-checks.
+//!
+//! The static [`Certificate`](crate::Certificate) claims bounds a plan's
+//! constructed embedding must satisfy; this module builds the real
+//! embedding and compares. Any disagreement — measured dilation or
+//! congestion above the certified bound, or a host-cube mismatch — is a
+//! planner or constructor bug and surfaces as a [`CrosscheckError`]
+//! naming the shape, without anyone having to stare at route dumps.
+
+use crate::certificate::{check_plan, AuditError, Certificate};
+use cubemesh_core::{construct, Planner};
+use cubemesh_embedding::VerifyError;
+use cubemesh_obs as obs;
+use cubemesh_topology::Shape;
+use std::fmt;
+
+/// A certificate cross-check failure for one shape.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrosscheckError {
+    /// Static certification itself failed.
+    Audit {
+        /// The top-level shape whose plan failed to certify (the
+        /// [`AuditError`] names the offending sub-shape).
+        shape: Shape,
+        /// The certification failure.
+        error: AuditError,
+    },
+    /// The constructed embedding failed semantic verification.
+    Verify {
+        /// The failing shape.
+        shape: Shape,
+        /// The verifier's diagnosis.
+        error: VerifyError,
+    },
+    /// Constructed host cube differs from the certified one.
+    HostDimMismatch {
+        /// The failing shape.
+        shape: Shape,
+        /// Host dimension the certificate derived.
+        certified: u32,
+        /// Host dimension the construction produced.
+        constructed: u32,
+    },
+    /// Measured dilation exceeds the certified bound.
+    DilationExceeded {
+        /// The failing shape.
+        shape: Shape,
+        /// Certified upper bound.
+        certified: u32,
+        /// Measured value.
+        measured: u32,
+    },
+    /// Measured congestion exceeds the certified bound.
+    CongestionExceeded {
+        /// The failing shape.
+        shape: Shape,
+        /// Certified upper bound.
+        certified: u32,
+        /// Measured value.
+        measured: u32,
+    },
+}
+
+impl fmt::Display for CrosscheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrosscheckError::Audit { shape, error } => {
+                write!(f, "{shape}: static audit failed: {error}")
+            }
+            CrosscheckError::Verify { shape, error } => {
+                write!(f, "{shape}: constructed embedding invalid: {error}")
+            }
+            CrosscheckError::HostDimMismatch {
+                shape,
+                certified,
+                constructed,
+            } => write!(
+                f,
+                "{shape}: certificate says Q_{certified}, construction landed in Q_{constructed}"
+            ),
+            CrosscheckError::DilationExceeded {
+                shape,
+                certified,
+                measured,
+            } => write!(
+                f,
+                "{shape}: measured dilation {measured} exceeds certified {certified}"
+            ),
+            CrosscheckError::CongestionExceeded {
+                shape,
+                certified,
+                measured,
+            } => write!(
+                f,
+                "{shape}: measured congestion {measured} exceeds certified {certified}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrosscheckError {}
+
+/// Tallies from a [`sweep`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Canonical shapes enumerated.
+    pub shapes: usize,
+    /// Shapes the planner covered (and that were statically certified).
+    pub certified: usize,
+    /// Certified shapes whose embedding was also constructed and
+    /// measured against the certificate.
+    pub constructed: usize,
+    /// Shapes the planner declined (the paper's open cases).
+    pub unplanned: usize,
+}
+
+/// Certify one shape's planner output and, if `construct_it`, build the
+/// embedding and compare measured metrics against the certificate.
+///
+/// Returns `Ok(None)` when the planner has no plan for the shape.
+pub fn crosscheck_shape(
+    planner: &mut Planner,
+    shape: &Shape,
+    construct_it: bool,
+) -> Result<Option<Certificate>, CrosscheckError> {
+    let Some(plan) = planner.plan(shape) else {
+        return Ok(None);
+    };
+    let cert = check_plan(shape, &plan).map_err(|error| CrosscheckError::Audit {
+        shape: shape.clone(),
+        error,
+    })?;
+    if construct_it {
+        let emb = construct(shape, &plan);
+        emb.verify().map_err(|error| CrosscheckError::Verify {
+            shape: shape.clone(),
+            error,
+        })?;
+        if emb.host().dim() != cert.host_dim {
+            return Err(CrosscheckError::HostDimMismatch {
+                shape: shape.clone(),
+                certified: cert.host_dim,
+                constructed: emb.host().dim(),
+            });
+        }
+        let m = emb.metrics();
+        if m.dilation > cert.dilation_bound {
+            return Err(CrosscheckError::DilationExceeded {
+                shape: shape.clone(),
+                certified: cert.dilation_bound,
+                measured: m.dilation,
+            });
+        }
+        if m.congestion > cert.congestion_bound {
+            return Err(CrosscheckError::CongestionExceeded {
+                shape: shape.clone(),
+                certified: cert.congestion_bound,
+                measured: m.congestion,
+            });
+        }
+    }
+    Ok(Some(cert))
+}
+
+/// Sweep every canonical 3-D shape `a ≤ b ≤ c ≤ max_axis` (rank-1/2 cases
+/// arise through length-1 axes), statically certifying each planner
+/// output; shapes with at most `construct_cap` nodes are additionally
+/// constructed and measured against their certificate. The whole sweep is
+/// timed under the `audit.crosscheck` span and tallied in
+/// `audit.crosscheck.*` counters.
+pub fn sweep(max_axis: usize, construct_cap: usize) -> Result<SweepReport, CrosscheckError> {
+    let _span = obs::span!("audit.crosscheck");
+    let mut planner = Planner::new();
+    let mut report = SweepReport::default();
+    for a in 1..=max_axis {
+        for b in a..=max_axis {
+            for c in b..=max_axis {
+                let shape = Shape::new(&[a, b, c]);
+                report.shapes += 1;
+                let construct_it = shape.nodes() <= construct_cap;
+                match crosscheck_shape(&mut planner, &shape, construct_it)? {
+                    Some(_) => {
+                        report.certified += 1;
+                        if construct_it {
+                            report.constructed += 1;
+                        }
+                    }
+                    None => report.unplanned += 1,
+                }
+            }
+        }
+    }
+    if obs::enabled() {
+        obs::counter!("audit.crosscheck.shapes").add(report.shapes as u64);
+        obs::counter!("audit.crosscheck.certified").add(report.certified as u64);
+        obs::counter!("audit.crosscheck.constructed").add(report.constructed as u64);
+        obs::counter!("audit.crosscheck.unplanned").add(report.unplanned as u64);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_crosscheck() {
+        let mut planner = Planner::new();
+        for dims in [
+            vec![12usize, 20],
+            vec![3, 25, 3],
+            vec![5, 6, 7],
+            vec![6, 6, 6],
+            vec![10, 11],
+        ] {
+            let cert = crosscheck_shape(&mut planner, &Shape::new(&dims), true)
+                .unwrap_or_else(|e| panic!("{:?}: {}", dims, e))
+                .expect("planner covers the paper examples");
+            assert!(cert.minimal, "{:?}", dims);
+        }
+    }
+
+    #[test]
+    fn open_case_reports_none() {
+        let mut planner = Planner::new();
+        let r = crosscheck_shape(&mut planner, &Shape::new(&[5, 5, 5]), true).unwrap();
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn small_sweep_is_clean() {
+        let report = sweep(8, 128).expect("sweep must be clean");
+        assert_eq!(report.shapes, 120); // C(8+2,3) triples a<=b<=c<=8
+        assert_eq!(report.certified + report.unplanned, report.shapes);
+        assert!(report.certified > 100, "{report:?}");
+    }
+}

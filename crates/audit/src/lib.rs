@@ -1,0 +1,25 @@
+//! Static analysis for the cubemesh workspace: plan certificates and a
+//! custom lint driver.
+//!
+//! Two prongs, both runnable through the `cubemesh-audit` binary and wired
+//! into the repo gate (`scripts/check.sh`):
+//!
+//! * [`certificate`] — derive a `(dilation, congestion, expansion)`
+//!   [`Certificate`] for any [`cubemesh_core::Plan`] tree *without
+//!   constructing the embedding*, checking every theorem precondition
+//!   (Corollary 2 factor compatibility, minimal-cube arithmetic, catalog
+//!   applicability) and known lower-bound floors along the way;
+//!   [`crosscheck`] then builds real embeddings and asserts the measured
+//!   metrics never exceed the static claims.
+//! * [`lint`] — source-level rules over the workspace's own library code:
+//!   no `unwrap`/`expect`/`panic!` outside tests (explicit, shrinking
+//!   allowlist; allowlisted functions must carry `# Panics` docs) and no
+//!   narrowing casts on 64-bit cube addresses.
+
+pub mod certificate;
+pub mod crosscheck;
+pub mod lint;
+
+pub use certificate::{certify, check_plan, dilation_floor, AuditError, Certificate};
+pub use crosscheck::{crosscheck_shape, sweep, CrosscheckError, SweepReport};
+pub use lint::{lint_source, lint_workspace, Allowlist, Rule, Violation};

@@ -1,0 +1,747 @@
+//! Source-level lints over the workspace's own library code.
+//!
+//! Three rules, all enforced by `cubemesh-audit lint` in the repo gate:
+//!
+//! * **panic-in-lib** — `.unwrap()`, `.expect(…)`, `panic!`,
+//!   `unreachable!`, `todo!` and `unimplemented!` are forbidden in
+//!   non-test library code. Provably-infallible or deliberately
+//!   validating sites are allowlisted per function in
+//!   `audit-allowlist.txt`; every allowlisted function must document its
+//!   panic with a `# Panics` doc section (**missing-panics-doc**), and
+//!   allowlist entries that no longer match anything are themselves
+//!   errors (**unused-allow**) so the list can only shrink.
+//! * **narrowing-addr-cast** — an `as` cast of an address-carrying
+//!   identifier (name contains `addr`) to a type narrower than the
+//!   64-bit cube address space (`u8/u16/u32/i8/i16/i32`) silently drops
+//!   high bits for hosts above `Q_32`; compute in `u64` instead.
+//!
+//! The scanner is deliberately lexical, not syntactic: comments, string
+//! literals and char literals are blanked first (so `write!(f, "…expected
+//! {x}")` or a `panic!` mentioned in docs never trips a rule), then
+//! `#[cfg(test)]` items are masked by brace matching, and violations are
+//! attributed to their enclosing `fn` for allowlist lookup. That is
+//! enough precision for a single-workspace gate with zero dependencies.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Panic-family call in non-test library code without an allowlist
+    /// entry.
+    PanicInLib,
+    /// Narrowing cast of an address-carrying value.
+    NarrowingAddrCast,
+    /// Allowlisted function lacks a `# Panics` doc section.
+    MissingPanicsDoc,
+    /// Allowlist entry matched nothing.
+    UnusedAllow,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rule::PanicInLib => "panic-in-lib",
+            Rule::NarrowingAddrCast => "narrowing-addr-cast",
+            Rule::MissingPanicsDoc => "missing-panics-doc",
+            Rule::UnusedAllow => "unused-allow",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative file path (or the allowlist path for unused-allow).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One allowlist entry: `path/to/file.rs::function_name`.
+#[derive(Clone, Debug)]
+struct AllowEntry {
+    file: String,
+    func: String,
+    line: usize,
+    used: bool,
+}
+
+/// The parsed panic allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    source: String,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Lines are `file.rs::fn_name`; blank lines
+    /// and `#` comments are ignored. Malformed lines are errors.
+    pub fn parse(source_label: &str, text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((file, func)) = line.split_once("::") else {
+                return Err(format!(
+                    "{source_label}:{}: expected 'file.rs::fn_name', got '{line}'",
+                    i + 1
+                ));
+            };
+            if file.is_empty() || func.is_empty() || !file.ends_with(".rs") {
+                return Err(format!(
+                    "{source_label}:{}: expected 'file.rs::fn_name', got '{line}'",
+                    i + 1
+                ));
+            }
+            entries.push(AllowEntry {
+                file: file.to_owned(),
+                func: func.to_owned(),
+                line: i + 1,
+                used: false,
+            });
+        }
+        Ok(Allowlist {
+            entries,
+            source: source_label.to_owned(),
+        })
+    }
+
+    /// Load and parse an allowlist file. A missing file is an empty list.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        let label = path.display().to_string();
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&label, &text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("{label}: {e}")),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn permit(&mut self, file: &str, func: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            let file_matches = file == e.file || file.ends_with(&format!("/{}", e.file));
+            if e.func == func && file_matches {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    fn unused(&self) -> Vec<Violation> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used)
+            .map(|e| Violation {
+                file: self.source.clone(),
+                line: e.line,
+                rule: Rule::UnusedAllow,
+                message: format!(
+                    "allowlist entry {}::{} matched no finding; remove it",
+                    e.file, e.func
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Replace comment bodies, string/char-literal contents and their quotes
+/// with spaces, preserving byte offsets and line breaks, so downstream
+/// passes see only code.
+fn strip_noncode(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = text.as_bytes().to_vec();
+    let mut i = 0;
+    let n = b.len();
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for c in &mut out[from..to] {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    };
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let end = memchr_newline(b, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if j + 1 < n && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let end = scan_string(b, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let end = scan_raw_string(b, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // bytes (`'x'`, `'\n'`, `'\u{1F600}'`); a lifetime never
+                // has a closing quote before a non-ident boundary.
+                if let Some(end) = scan_char_literal(b, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Lossless for our purposes: input was valid UTF-8 and we only wrote
+    // ASCII spaces over complete character ranges.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < b.len() && b[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, br"…" — plain "b"…"" is handled by the '"' arm. The
+    // sigil must not be the tail of an identifier (`var` ends in 'r').
+    if i > 0 && is_ident_byte(b[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn scan_raw_string(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut h = 0;
+            while k < b.len() && b[k] == b'#' && h < hashes {
+                h += 1;
+                k += 1;
+            }
+            if h == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+fn scan_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    if i + 2 >= n {
+        return None;
+    }
+    if b[i + 1] == b'\\' {
+        // Escaped: find the closing quote (handles '\u{…}').
+        let mut j = i + 2;
+        while j < n && j < i + 12 {
+            if b[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // Unescaped: exactly one scalar between quotes. Multi-byte UTF-8
+    // chars span up to 4 bytes; anything longer is a lifetime.
+    for (j, &c) in b.iter().enumerate().take((i + 6).min(n)).skip(i + 2) {
+        if c == b'\'' {
+            return Some(j + 1);
+        }
+        if c == b'\n' {
+            return None;
+        }
+    }
+    None
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// A function body located in cleaned source.
+#[derive(Clone, Debug)]
+struct FnSpan {
+    name: String,
+    decl_line: usize,
+    body: std::ops::Range<usize>,
+}
+
+/// Locate every `fn` body and every `#[cfg(test)]` item range in cleaned
+/// source.
+fn scan_items(clean: &str) -> (Vec<FnSpan>, Vec<std::ops::Range<usize>>) {
+    let b = clean.as_bytes();
+    let n = b.len();
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut test_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    // Pending declarations waiting for their opening brace.
+    let mut pending_fn: Option<(String, usize)> = None;
+    let mut pending_tests = 0usize;
+    // Open items: (brace_depth_at_open, fn index or usize::MAX for a test item, start).
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut paren = 0i32;
+    let mut line = 1usize;
+    let mut i = 0;
+    while i < n {
+        match b[i] {
+            b'\n' => line += 1,
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b';' if paren == 0 => {
+                pending_fn = None;
+                pending_tests = 0;
+            }
+            b'{' => {
+                if pending_tests > 0 {
+                    stack.push((depth, usize::MAX, i));
+                    pending_tests -= 1;
+                    // A test mod swallows any pending fn decl ordering.
+                } else if let Some((name, decl_line)) = pending_fn.take() {
+                    if paren == 0 {
+                        fns.push(FnSpan {
+                            name,
+                            decl_line,
+                            body: i..n,
+                        });
+                        stack.push((depth, fns.len() - 1, i));
+                    }
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if let Some(&(d, idx, start)) = stack.last() {
+                    if d == depth {
+                        stack.pop();
+                        if idx == usize::MAX {
+                            test_ranges.push(start..i + 1);
+                        } else {
+                            fns[idx].body = start..i + 1;
+                        }
+                    }
+                }
+            }
+            b'#' if clean[i..].starts_with("#[cfg(test)]") => {
+                pending_tests += 1;
+            }
+            b'f' if clean[i..].starts_with("fn")
+                && (i == 0 || !is_ident_byte(b[i - 1]))
+                && i + 2 < n
+                && !is_ident_byte(b[i + 2]) =>
+            {
+                // Parse the identifier after `fn`.
+                let mut j = i + 2;
+                while j < n && (b[j] == b' ' || b[j] == b'\n' || b[j] == b'\t') {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                let start = j;
+                while j < n && is_ident_byte(b[j]) {
+                    j += 1;
+                }
+                if j > start {
+                    pending_fn = Some((clean[start..j].to_owned(), line));
+                }
+                i = j;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (fns, test_ranges)
+}
+
+/// Byte offset of the start of each line, for offset → line mapping.
+fn line_offsets(text: &str) -> Vec<usize> {
+    let mut offs = vec![0usize];
+    for (i, c) in text.bytes().enumerate() {
+        if c == b'\n' {
+            offs.push(i + 1);
+        }
+    }
+    offs
+}
+
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Does the doc block immediately above `decl_line` (1-based, in the
+/// original text) contain a `# Panics` section?
+fn has_panics_doc(original_lines: &[&str], decl_line: usize) -> bool {
+    let mut i = decl_line.saturating_sub(1); // index of the decl line
+    while i > 0 {
+        let t = original_lines[i - 1].trim_start();
+        if t.starts_with("///") || t.starts_with("#[") || t.starts_with("//!") {
+            if t.contains("# Panics") {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Lint one library source file. `label` is the repo-relative path used
+/// in reports and allowlist matching.
+pub fn lint_source(label: &str, text: &str, allow: &mut Allowlist) -> Vec<Violation> {
+    let clean = strip_noncode(text);
+    let (fns, test_ranges) = scan_items(&clean);
+    let offsets = line_offsets(&clean);
+    let original_lines: Vec<&str> = text.lines().collect();
+    let in_tests = |off: usize| test_ranges.iter().any(|r| r.contains(&off));
+    let enclosing_fn = |off: usize| {
+        fns.iter()
+            .filter(|f| f.body.contains(&off))
+            .max_by_key(|f| f.body.start)
+    };
+
+    let mut out = Vec::new();
+    let mut doc_checked: Vec<usize> = Vec::new(); // decl lines already checked
+    for (lineno, (line, &line_start)) in clean.lines().zip(&offsets).enumerate() {
+        let lineno = lineno + 1;
+        if in_tests(line_start) {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            for (col, _) in line.match_indices(pat) {
+                let off = line_start + col;
+                if in_tests(off) {
+                    continue;
+                }
+                let holder = enclosing_fn(off);
+                let fname = holder.map(|f| f.name.as_str()).unwrap_or("<module>");
+                if allow.permit(label, fname) {
+                    // Allowlisted: require the `# Panics` doc instead.
+                    if let Some(f) = holder {
+                        if !doc_checked.contains(&f.decl_line) {
+                            doc_checked.push(f.decl_line);
+                            if !has_panics_doc(&original_lines, f.decl_line) {
+                                out.push(Violation {
+                                    file: label.to_owned(),
+                                    line: f.decl_line,
+                                    rule: Rule::MissingPanicsDoc,
+                                    message: format!(
+                                        "allowlisted fn `{fname}` has no `# Panics` doc section"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    continue;
+                }
+                out.push(Violation {
+                    file: label.to_owned(),
+                    line: lineno,
+                    rule: Rule::PanicInLib,
+                    message: format!(
+                        "`{}` in non-test library code (fn `{fname}`); return a Result or \
+                         allowlist it with a `# Panics` doc",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        for (col, _) in line.match_indices(" as ") {
+            let after = &line[col + 4..];
+            let ty: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !NARROW_TYPES.contains(&ty.as_str()) {
+                continue;
+            }
+            // The operand: last identifier before the cast.
+            let before = &line[..col];
+            let operand: String = before
+                .chars()
+                .rev()
+                .take_while(|&c| c == '_' || c.is_ascii_alphanumeric())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if operand.to_ascii_lowercase().contains("addr") {
+                let off = line_start + col;
+                if in_tests(off) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: label.to_owned(),
+                    line: lineno,
+                    rule: Rule::NarrowingAddrCast,
+                    message: format!(
+                        "`{operand} as {ty}` narrows a cube address below 64 bits; \
+                         keep address arithmetic in u64"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Should this path be linted? Library sources only: `**/src/**.rs`,
+/// excluding vendored shims, binaries, benches, tests and examples.
+fn lintable(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    if !parts.contains(&"src") {
+        return false;
+    }
+    const SKIP: [&str; 7] = [
+        "shims", "bin", "benches", "tests", "examples", "target", ".git",
+    ];
+    !parts.iter().any(|p| SKIP.contains(p))
+}
+
+fn walk(dir: &Path, root: &Path, files: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                ".git" | "target" | "shims" | "bin" | "benches" | "tests" | "examples"
+            ) {
+                continue;
+            }
+            walk(&path, root, files)?;
+        } else {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if lintable(&rel) {
+                files.push((rel, path));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint every library source under `root` against the allowlist. Returns
+/// all violations, including unused-allow entries, sorted by file/line.
+pub fn lint_workspace(root: &Path, mut allow: Allowlist) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for (rel, path) in &files {
+        let text = fs::read_to_string(path)?;
+        out.extend(lint_source(rel, &text, &mut allow));
+    }
+    out.extend(allow.unused());
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(text: &str) -> Vec<Violation> {
+        let mut allow = Allowlist::default();
+        lint_source("lib.rs", text, &mut allow)
+    }
+
+    #[test]
+    fn seeded_unwrap_is_flagged() {
+        let v = lint_str("pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::PanicInLib);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("fn `f`"));
+    }
+
+    #[test]
+    fn panic_in_cfg_test_module_is_ignored() {
+        let src = "pub fn ok() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                   Option::<u32>::None.unwrap(); panic!(\"x\") }\n}\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let src = "pub fn msg() -> &'static str {\n    // panic! in a comment is fine\n    \
+                   \"call .unwrap() and panic!\"\n}\n/// Docs may say panic! too.\npub fn d() {}\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_addr_cast_is_flagged() {
+        let v = lint_str("pub fn f(addr: u64) -> u32 {\n    addr as u32\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NarrowingAddrCast);
+        // `as usize` and non-address identifiers stay legal.
+        assert!(lint_str(
+            "pub fn g(addr: u64, w: u64) -> usize { (addr as usize) + (w as u32) as usize }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allowlisted_fn_needs_panics_doc() {
+        let mut allow = Allowlist::parse("allow.txt", "lib.rs::f\n").unwrap();
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let v = lint_source("lib.rs", src, &mut allow);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::MissingPanicsDoc);
+
+        let mut allow = Allowlist::parse("allow.txt", "lib.rs::f\n").unwrap();
+        let documented = "/// Frobs.\n///\n/// # Panics\n/// Panics when absent.\npub fn f(x: \
+                          Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let v = lint_source("lib.rs", documented, &mut allow);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(allow.unused().is_empty());
+    }
+
+    #[test]
+    fn unused_allow_entries_are_reported() {
+        let mut allow = Allowlist::parse("allow.txt", "lib.rs::ghost\n").unwrap();
+        let _ = lint_source("lib.rs", "pub fn real() {}\n", &mut allow);
+        let unused = allow.unused();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, Rule::UnusedAllow);
+    }
+
+    #[test]
+    fn malformed_allowlist_is_rejected() {
+        assert!(Allowlist::parse("a", "not-a-valid-line\n").is_err());
+        assert!(Allowlist::parse("a", "# comment only\n\n")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn enclosing_fn_attribution_handles_nesting() {
+        let src =
+            "pub fn outer() {\n    fn inner(x: Option<u32>) -> u32 {\n        x.unwrap()\n    \
+                   }\n    let _ = inner(Some(3));\n}\n";
+        let v = lint_str(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("fn `inner`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "pub fn f() -> (char, &'static str) {\n    ('{', r#\"panic!(\"no\")\"#)\n}\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn lintable_path_filter() {
+        assert!(lintable("crates/core/src/plan.rs"));
+        assert!(lintable("src/lib.rs"));
+        assert!(!lintable("crates/core/src/bin/tool.rs"));
+        assert!(!lintable("crates/shims/rand/src/lib.rs"));
+        assert!(!lintable("tests/paper_examples.rs"));
+        assert!(!lintable("examples/quickstart.rs"));
+        assert!(!lintable("crates/bench/benches/search.rs"));
+    }
+}

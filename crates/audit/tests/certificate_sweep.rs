@@ -1,0 +1,64 @@
+//! Acceptance sweep: every planner output within 32×32×32 must certify,
+//! and every certificate must dominate the measured metrics of the
+//! embedding it describes (up to the node cap that keeps debug builds
+//! quick; `cubemesh-audit selfcheck` runs the release-sized cap in the
+//! repo gate).
+
+use cubemesh_audit::{certify, crosscheck_shape, sweep};
+use cubemesh_core::Planner;
+use cubemesh_topology::Shape;
+
+#[test]
+fn full_32_cube_sweep_certifies() {
+    let cap = if cfg!(debug_assertions) { 512 } else { 4096 };
+    let report = sweep(32, cap).expect("sweep must be clean");
+    // C(32+2, 3) canonical triples a <= b <= c <= 32.
+    assert_eq!(report.shapes, 5984);
+    assert_eq!(report.certified + report.unplanned, report.shapes);
+    // The planner covers the overwhelming majority of shapes; the open
+    // cases are the ones Section 6 leaves unresolved.
+    assert!(
+        report.certified * 10 >= report.shapes * 9,
+        "coverage regressed: {report:?}"
+    );
+    assert!(report.constructed > 0, "{report:?}");
+}
+
+#[test]
+fn theorem3_inheritance_along_product_spines() {
+    // For shapes the planner decomposes, the product certificate is the
+    // max/max/product combination of its factors' certificates.
+    let mut planner = Planner::new();
+    for dims in [[4usize, 6, 9], [12, 20, 1], [3, 5, 30], [7, 14, 28]] {
+        let shape = Shape::new(&dims);
+        let plan = planner.plan(&shape).expect("planner covers these");
+        let cert = certify(&shape, &plan).expect("must certify");
+        if let cubemesh_core::Plan::Product { f1, p1, f2, p2 } = &plan {
+            let c1 = certify(f1, p1).expect("factor 1 certifies");
+            let c2 = certify(f2, p2).expect("factor 2 certifies");
+            assert_eq!(cert.host_dim, c1.host_dim + c2.host_dim);
+            assert_eq!(
+                cert.dilation_bound,
+                c1.dilation_bound.max(c2.dilation_bound)
+            );
+            assert_eq!(
+                cert.congestion_bound,
+                c1.congestion_bound.max(c2.congestion_bound)
+            );
+            let eps = (c1.expansion * c2.expansion - cert.expansion).abs();
+            assert!(eps < 1e-9, "{dims:?}: expansion not multiplicative");
+        }
+    }
+}
+
+#[test]
+fn certificates_are_stable_across_planner_instances() {
+    // Certification is a pure function of (shape, plan): two fresh
+    // planners must yield identical certificates.
+    for dims in [[8usize, 8, 8], [3, 9, 27], [2, 30, 31]] {
+        let shape = Shape::new(&dims);
+        let a = crosscheck_shape(&mut Planner::new(), &shape, false).unwrap();
+        let b = crosscheck_shape(&mut Planner::new(), &shape, false).unwrap();
+        assert_eq!(a, b, "{dims:?}");
+    }
+}

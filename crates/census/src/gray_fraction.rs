@@ -47,6 +47,10 @@ pub fn gray_fraction_monte_carlo(k: u32, samples: u64, seed: u64) -> f64 {
 /// Exact finite-range fraction: the share of `ℓ ∈ [1, 2ⁿ]^k` with
 /// `Σ ⌈log₂ ℓᵢ⌉ = ⌈log₂ Π ℓᵢ⌉`. Supports `k ≤ 3` exactly (what Figure 2
 /// needs); larger `k` should use the Monte-Carlo estimate.
+///
+/// # Panics
+/// Panics if `k > 3`; exact enumeration is only implemented for the
+/// ranks the paper's Figure 2 plots.
 pub fn gray_fraction_exact(k: u32, n: u32) -> f64 {
     let limit = 1u64 << n;
     match k {

@@ -20,6 +20,11 @@ pub fn construct(shape: &Shape, plan: &Plan) -> Embedding {
     lift(emb, shape)
 }
 
+/// # Panics
+/// Panics if a `Direct` plan names a shape absent from the catalog; the
+/// planner only emits `Direct` after a successful catalog lookup, so
+/// this indicates a hand-built or corrupted plan tree (use
+/// `cubemesh_audit::check_plan` to validate plans before constructing).
 fn construct_reduced(shape: &Shape, plan: &Plan) -> Embedding {
     match plan {
         Plan::Gray => gray_mesh_embedding(shape),

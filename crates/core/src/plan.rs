@@ -39,6 +39,10 @@ pub enum Plan {
 
 impl Plan {
     /// Host-cube dimension this plan produces for `shape`.
+    ///
+    /// # Panics
+    /// Panics if a `Direct` node names a shape absent from the catalog
+    /// (a malformed plan tree; planner output never is).
     pub fn host_dim(&self, shape: &Shape) -> u32 {
         match self {
             Plan::Gray => shape.gray_cube_dim(),

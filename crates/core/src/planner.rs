@@ -280,14 +280,21 @@ impl Planner {
                 if cube_dim((la * lp) as u64) + cube_dim(ls as u64) != total {
                     continue;
                 }
-                let piece = Shape::new(&[la, lp]);
+                // The piece must keep the target's axis order: its plan is
+                // constructed against `reduce(f1)` verbatim.
+                let piece = if axis == 1 {
+                    Shape::new(&[la, lp])
+                } else {
+                    Shape::new(&[lp, la])
+                };
                 if let Some(p1) = self.plan(&piece) {
                     self.stats.hits[rule::AXIS_SPLIT] += 1;
-                    let (f1, f2) = if axis == 1 {
-                        (Shape::new(&[la, lp]), Shape::new(&[1, ls]))
+                    let f2 = if axis == 1 {
+                        Shape::new(&[1, ls])
                     } else {
-                        (Shape::new(&[lp, la]), Shape::new(&[ls, 1]))
+                        Shape::new(&[ls, 1])
                     };
+                    let f1 = piece;
                     return Some(Plan::Product {
                         f1,
                         p1: Box::new(p1),
@@ -315,8 +322,14 @@ impl Planner {
         // 5. Pair + Gray third (method 2).
         self.stats.attempts[rule::PAIR_GRAY] += 1;
         for c in 0..3 {
-            let a = (c + 1) % 3;
-            let b = (c + 2) % 3;
+            // The two paired axes, in ascending index order: the pair's
+            // plan is constructed against `reduce(f1)`, which keeps the
+            // target's axis order.
+            let (a, b) = match c {
+                0 => (1, 2),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
             if cube_dim((l[a] * l[b]) as u64) + cube_dim(l[c] as u64) != total {
                 continue;
             }
@@ -348,8 +361,18 @@ impl Planner {
                     if cube_dim((l[a] * lp) as u64) + cube_dim((ls * l[b]) as u64) != total {
                         continue;
                     }
-                    let piece1 = Shape::new(&[l[a], lp]);
-                    let piece2 = Shape::new(&[ls, l[b]]);
+                    // Pieces keep the target's axis order (they are
+                    // constructed against `reduce(f1)`/`reduce(f2)`).
+                    let piece1 = if a < j {
+                        Shape::new(&[l[a], lp])
+                    } else {
+                        Shape::new(&[lp, l[a]])
+                    };
+                    let piece2 = if j < b {
+                        Shape::new(&[ls, l[b]])
+                    } else {
+                        Shape::new(&[l[b], ls])
+                    };
                     if let (Some(p1), Some(p2)) = (self.plan(&piece1), self.plan(&piece2)) {
                         self.stats.hits[rule::AXIS_SPLIT] += 1;
                         let mut f1 = vec![1usize; 3];

@@ -215,6 +215,11 @@ fn path_cost_after_insert(path: &[u64], load: &HashMap<usize, u32>, host: Hyperc
 }
 
 /// Pick the candidate shortest path minimizing (max-load-after, sum-load).
+///
+/// # Panics
+/// Panics if there is no candidate path, which cannot happen: the
+/// monotone-route enumeration always yields at least one path between
+/// any two cube nodes (the single-node path when `a == b`).
 fn best_path(a: u64, b: u64, load: &HashMap<usize, u32>, host: Hypercube) -> Vec<u64> {
     let bits: Vec<u32> = cubemesh_topology::hamming::bit_positions(a ^ b).collect();
     if bits.is_empty() {

@@ -46,6 +46,11 @@ pub enum VerifyError {
     RouteNotSimple { edge: usize, address: u64 },
     /// A route leaves the host cube.
     RouteOutOfRange { edge: usize, address: u64 },
+    /// A route has no nodes at all (even a self-mapped edge must carry
+    /// the single-node path). [`RouteSet::push`](crate::RouteSet::push)
+    /// already rejects empty routes, so this is defense-in-depth: the
+    /// verifier does not assume the container upheld its invariant.
+    RouteEmpty { edge: usize },
 }
 
 impl fmt::Display for VerifyError {
@@ -90,6 +95,9 @@ impl fmt::Display for VerifyError {
             VerifyError::RouteOutOfRange { edge, address } => {
                 write!(f, "route {edge} leaves the cube at {address:#x}")
             }
+            VerifyError::RouteEmpty { edge } => {
+                write!(f, "route {edge} is empty")
+            }
         }
     }
 }
@@ -133,16 +141,18 @@ pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
             return Err(VerifyError::EdgeOutOfRange { edge: i });
         }
         let route = e.routes().route(i);
+        let (Some(&first), Some(&last)) = (route.first(), route.last()) else {
+            return Err(VerifyError::RouteEmpty { edge: i });
+        };
         let start = e.image(u as usize);
         let end = e.image(v as usize);
-        if route[0] != start {
+        if first != start {
             return Err(VerifyError::RouteStartMismatch {
                 edge: i,
                 expected: start,
-                found: route[0],
+                found: first,
             });
         }
-        let last = *route.last().expect("routes are non-empty");
         if last != end {
             return Err(VerifyError::RouteEndMismatch {
                 edge: i,

@@ -250,7 +250,9 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| (self.pos, "invalid UTF-8 in string".to_owned()))?;
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return self.err("unterminated string");
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -281,7 +283,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| (start, "invalid UTF-8 in number".to_owned()))?;
         text.parse::<f64>()
             .map(JsonValue::Num)
             .map_err(|_| (start, format!("bad number '{text}'")))

@@ -27,7 +27,7 @@ fn global() -> &'static Mutex<Registry> {
 /// interned: a `&str` with a non-static lifetime is leaked once on first
 /// registration.
 pub fn counter_named(name: &str) -> &'static Counter {
-    let mut reg = global().lock().unwrap();
+    let mut reg = global().lock().unwrap_or_else(|p| p.into_inner());
     if let Some(c) = reg.counters.get(name) {
         return c;
     }
@@ -39,7 +39,7 @@ pub fn counter_named(name: &str) -> &'static Counter {
 
 /// Look up (or create) the histogram registered under `name`.
 pub fn histogram_named(name: &str) -> &'static Histogram {
-    let mut reg = global().lock().unwrap();
+    let mut reg = global().lock().unwrap_or_else(|p| p.into_inner());
     if let Some(h) = reg.histograms.get(name) {
         return h;
     }
@@ -52,7 +52,7 @@ pub fn histogram_named(name: &str) -> &'static Histogram {
 /// Merge-on-snapshot: read every registered metric into an owned
 /// [`Snapshot`] (counters sum their shards here).
 pub fn snapshot() -> Snapshot {
-    let reg = global().lock().unwrap();
+    let reg = global().lock().unwrap_or_else(|p| p.into_inner());
     Snapshot {
         counters: reg
             .counters
@@ -70,7 +70,7 @@ pub fn snapshot() -> Snapshot {
 /// Zero every registered metric. Metrics stay registered (the `&'static`
 /// pointers cached at call sites remain valid). Test/bench support.
 pub fn reset() {
-    let reg = global().lock().unwrap();
+    let reg = global().lock().unwrap_or_else(|p| p.into_inner());
     for c in reg.counters.values() {
         c.reset();
     }

@@ -203,6 +203,9 @@ fn anneal_inner(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
 
 /// Run annealing with multiple seeds, returning the first success or the
 /// best failure.
+///
+/// # Panics
+/// Panics if `restarts == 0` — there is no outcome to return.
 pub fn anneal_restarts(guest: &Graph, base: &AnnealConfig, restarts: u64) -> AnnealOutcome {
     let mut best: Option<(u64, Vec<u64>)> = None;
     for r in 0..restarts {

@@ -78,6 +78,11 @@ pub fn assign_bounded_congestion(
 pub const DEFAULT_ASSIGN_BUDGET: u64 = 20_000_000;
 
 /// [`assign_bounded_congestion`] with an explicit step budget.
+///
+/// # Panics
+/// Panics if some edge spans Hamming distance > 2: every caller routes
+/// dilation-≤2 embeddings (the paper's constructions never exceed 2),
+/// so a longer edge is a caller bug, not an infeasible instance.
 pub fn assign_bounded_congestion_budgeted(
     map: &[u64],
     edges: &[(u32, u32)],
@@ -162,8 +167,14 @@ pub fn assign_bounded_congestion_budgeted(
     let unapply = |load: &mut HashMap<usize, u32>, c: &Choice, mid: u64, host: &Hypercube| {
         let e1 = host.edge_index(c.a, (c.a ^ mid).trailing_zeros());
         let e2 = host.edge_index(mid, (mid ^ c.b).trailing_zeros());
-        *load.get_mut(&e1).unwrap() -= 1;
-        *load.get_mut(&e2).unwrap() -= 1;
+        let l1 = load
+            .get_mut(&e1)
+            .expect("unapply removes a load recorded by try_apply");
+        *l1 -= 1;
+        let l2 = load
+            .get_mut(&e2)
+            .expect("unapply removes a load recorded by try_apply");
+        *l2 -= 1;
     };
 
     let mut steps = 0u64;

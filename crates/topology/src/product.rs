@@ -12,6 +12,9 @@ use crate::graph::Graph;
 ///
 /// Satisfies `|V| = |V₁||V₂|` and `|E| = |V₁||E₂| + |V₂||E₁|` (checked in
 /// tests, as stated after Definition 4 of the paper).
+///
+/// # Panics
+/// Panics if `|V₁|·|V₂|` overflows `usize`.
 pub fn product(g1: &Graph, g2: &Graph) -> Graph {
     let n1 = g1.nodes();
     let n2 = g2.nodes();

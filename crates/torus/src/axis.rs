@@ -233,6 +233,10 @@ pub fn axis_quarter_adaptive(len: usize, cost: &dyn Fn(usize, usize) -> u32) -> 
 /// Candidates: single positions (`r = 1`), adjacent pairs (`r = 2`), and
 /// for `r = 3` either a consecutive triple or the independent best pair +
 /// best single (kept apart so their bridges do not interact).
+///
+/// # Panics
+/// Panics if `r > 3` (quartering leaves at most 3 spare positions) or if
+/// the base ring is empty; both are invariants of [`Base::quarter`].
 fn best_removals(base: &Base, r: usize, cost: &dyn Fn(usize, usize) -> u32) -> Vec<usize> {
     let n = base.len;
     let pred = |p: usize| (p + n - 1) % n;
@@ -245,19 +249,27 @@ fn best_removals(base: &Base, r: usize, cost: &dyn Fn(usize, usize) -> u32) -> V
     match r {
         0 => vec![],
         1 => {
-            let best = (0..n).min_by_key(|&p| single_cost(p)).unwrap();
+            let best = (0..n)
+                .min_by_key(|&p| single_cost(p))
+                .expect("base ring is non-empty");
             vec![best]
         }
         2 => {
-            let best = (0..n).min_by_key(|&p| pair_cost(p)).unwrap();
+            let best = (0..n)
+                .min_by_key(|&p| pair_cost(p))
+                .expect("base ring is non-empty");
             vec![best, succ(best)]
         }
         3 => {
             // Option A: consecutive triple.
-            let t = (0..n).min_by_key(|&p| triple_cost(p)).unwrap();
+            let t = (0..n)
+                .min_by_key(|&p| triple_cost(p))
+                .expect("base ring is non-empty");
             let t_cost = triple_cost(t);
             // Option B: best pair + best non-interacting single.
-            let p = (0..n).min_by_key(|&q| pair_cost(q)).unwrap();
+            let p = (0..n)
+                .min_by_key(|&q| pair_cost(q))
+                .expect("base ring is non-empty");
             let forbidden: Vec<usize> =
                 vec![pred(p), p, succ(p), succ(succ(p)), succ(succ(succ(p)))];
             let s = (0..n)

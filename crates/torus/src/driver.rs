@@ -145,6 +145,10 @@ pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPla
 
 /// Convenience: embed, panicking on failure — for examples and benches
 /// where coverage is known.
+///
+/// # Panics
+/// Panics if [`embed_torus`] returns `None` (an axis rule outside the
+/// half/quarter coverage); use [`embed_torus`] to handle that case.
 pub fn embed_torus_expect(shape: &Shape) -> Embedding {
     embed_torus(shape)
         .unwrap_or_else(|| panic!("no torus plan for {}", shape))

@@ -14,4 +14,10 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== audit: source lints (panic discipline, address casts) =="
+cargo run --release -q -p cubemesh-audit -- lint
+
+echo "== audit: plan-certificate self-check (32^3 sweep) =="
+cargo run --release -q -p cubemesh-audit -- selfcheck --stats
+
 echo "All checks passed."

@@ -1,0 +1,52 @@
+//! Property tests for the static audit layer: whatever the planner
+//! emits for a random shape must pass `audit::check_plan`, and for
+//! shapes small enough to construct, the measured dilation/congestion
+//! must never exceed the certificate's claims.
+
+use cubemesh::core::Planner;
+use cubemesh::topology::Shape;
+use cubemesh_audit::{check_plan, crosscheck_shape, dilation_floor};
+use proptest::prelude::*;
+
+/// Node-count ceiling for actually constructing the embedding inside a
+/// property test; larger shapes are still statically certified.
+const CONSTRUCT_CAP: usize = 2048;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random shapes up to 64³: every plan certifies, and the certified
+    /// host cube agrees with the plan's own arithmetic.
+    #[test]
+    fn planner_output_always_certifies(
+        dims in prop::collection::vec(1usize..65, 1..4),
+    ) {
+        let shape = Shape::new(&dims);
+        let mut planner = Planner::new();
+        if let Some(plan) = planner.plan(&shape) {
+            let cert = check_plan(&shape, &plan)
+                .unwrap_or_else(|e| panic!("{shape}: {e}"));
+            // The certificate can never undercut the known lower bound.
+            prop_assert!(
+                cert.dilation_bound >= dilation_floor(&shape, cert.host_dim)
+            );
+            // Host must hold the mesh at all.
+            prop_assert!(u64::from(cert.host_dim) >= shape.minimal_cube_dim() as u64);
+            prop_assert!(cert.expansion >= 1.0);
+        }
+    }
+
+    /// Constructed embeddings never exceed their certificate.
+    #[test]
+    fn measured_never_exceeds_certificate(
+        dims in prop::collection::vec(1usize..65, 1..4),
+    ) {
+        let shape = Shape::new(&dims);
+        let mut planner = Planner::new();
+        let construct_it = shape.nodes() <= CONSTRUCT_CAP;
+        // crosscheck_shape errors on ANY disagreement between the static
+        // certificate and the constructed embedding.
+        let r = crosscheck_shape(&mut planner, &shape, construct_it);
+        prop_assert!(r.is_ok(), "{}: {}", shape, r.unwrap_err());
+    }
+}
