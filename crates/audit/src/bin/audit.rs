@@ -8,7 +8,7 @@
 //! cubemesh-audit selfcheck [--max-axis N] [--construct-cap N]
 //!     Certify every planner output for all canonical meshes within
 //!     N^3 (default 32) and cross-check constructed embeddings up to
-//!     the node cap (default 4096) against their certificates.
+//!     the node cap (default 32768) against their certificates.
 //! ```
 //!
 //! Every subcommand accepts `--stats` to print an instrumentation
@@ -118,7 +118,7 @@ fn cmd_selfcheck(args: &[String]) -> ExitCode {
         .unwrap_or(32);
     let cap: usize = flag_value(args, "--construct-cap")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(4096);
+        .unwrap_or(32768);
     match sweep(max_axis, cap) {
         Ok(report) => {
             println!(

@@ -1,0 +1,327 @@
+//! `cubemesh-bench`: the BENCH_3 perf-trajectory baseline.
+//!
+//! Times the full hot pipeline — plan, construct, metrics, verify — on a
+//! fixed ladder of paper-scale shapes and writes the results as JSON
+//! (`BENCH_3.json` at the repo root by default). Every rung is also run
+//! with `RAYON_NUM_THREADS=1` to record the sequential wall time and the
+//! parallel speedup, and the bench *asserts* that the parallel and
+//! sequential pipelines produce identical metrics, so the smoke run in
+//! `scripts/check.sh` doubles as a correctness gate.
+//!
+//! ```text
+//! cubemesh-bench [--json] [--out PATH] [--threads N] [--quick] [--reps N]
+//!                [--shapes L1xL2xL3[,L1xL2xL3...]] [--par-only] [--stats]
+//! ```
+//!
+//! * `--json`      print the JSON document to stdout too
+//! * `--out PATH`  where to write the JSON (default `BENCH_3.json`)
+//! * `--threads N` cap the worker count (sets `RAYON_NUM_THREADS`)
+//! * `--quick`     only the 16^3 rung (the check.sh smoke)
+//! * `--reps N`    repetitions per rung; min wall time is reported (default 3)
+//! * `--par-only`  skip the sequential re-run (no speedup column)
+//! * `--shapes`    override the ladder
+//! * `--stats`     print a cubemesh-obs snapshot at the end
+//!
+//! Each stage is timed as the minimum over `--reps` repetitions: on a
+//! shared/noisy host a single-shot timing can be off by an order of
+//! magnitude, and the minimum is the best estimate of the code's cost.
+
+use cubemesh_core::{construct, Planner};
+use cubemesh_embedding::Embedding;
+use cubemesh_obs as obs;
+use cubemesh_topology::Shape;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The fixed BENCH_3 shape ladder. Power-of-two rungs exercise the Gray
+/// leaf path; the non-power-of-two rungs go through the full
+/// product-decomposition lowering.
+const LADDER: &[&[usize]] = &[
+    &[16, 16, 16],
+    &[64, 64, 64],
+    &[128, 128, 128],
+    &[256, 256, 16],
+    &[512, 512, 8],
+    &[60, 60, 60],
+    &[36, 36, 33],
+];
+
+#[derive(Clone, Debug, Default)]
+struct Rung {
+    shape: String,
+    nodes: usize,
+    edges: usize,
+    route_hops: u64,
+    host_dim: u32,
+    dilation: u32,
+    congestion: u32,
+    plan_s: f64,
+    construct_s: f64,
+    metrics_s: f64,
+    verify_s: f64,
+    construct_nodes_per_s: f64,
+    metrics_hops_per_s: f64,
+    seq_construct_s: f64,
+    seq_metrics_s: f64,
+    speedup_construct_metrics: f64,
+    peak_rss_kb: u64,
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (Linux only;
+/// 0 where unavailable). Process-wide high-water mark, so per-rung values
+/// are monotone — still useful as a ladder-level memory trajectory.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches(" kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Run plan → construct → metrics → verify, timed. Construct, metrics,
+/// and verify are repeated `reps` times and the minimum wall time per
+/// stage is kept (planning is memoized, so it is timed once).
+fn run_pipeline(dims: &[usize], reps: usize) -> Option<(Rung, Embedding)> {
+    let shape = Shape::new(dims);
+    let mut planner = Planner::new();
+    let (plan, plan_s) = time(|| planner.plan(&shape));
+    let plan = match plan {
+        Some(p) => p,
+        None => {
+            eprintln!("cubemesh-bench: no plan for {shape}, skipping");
+            return None;
+        }
+    };
+    let (mut construct_s, mut metrics_s, mut verify_s) = (f64::MAX, f64::MAX, f64::MAX);
+    let mut kept: Option<(Embedding, cubemesh_embedding::Metrics)> = None;
+    for _ in 0..reps.max(1) {
+        drop(kept.take()); // free the previous repetition before building anew
+        let (emb, c) = time(|| construct(&shape, &plan));
+        construct_s = construct_s.min(c);
+        let (m, ms) = time(|| emb.metrics());
+        metrics_s = metrics_s.min(ms);
+        let (vres, vs) = time(|| emb.verify());
+        verify_s = verify_s.min(vs);
+        if let Err(e) = vres {
+            eprintln!("cubemesh-bench: {shape} failed verification: {e}");
+            return None;
+        }
+        kept = Some((emb, m));
+    }
+    let (emb, m) = kept?;
+    let hops = emb.routes().total_length();
+    let rung = Rung {
+        shape: shape.to_string(),
+        nodes: shape.nodes(),
+        edges: emb.edge_count(),
+        route_hops: hops,
+        host_dim: m.host_dim,
+        dilation: m.dilation,
+        congestion: m.congestion,
+        plan_s,
+        construct_s,
+        metrics_s,
+        verify_s,
+        construct_nodes_per_s: shape.nodes() as f64 / construct_s.max(1e-12),
+        metrics_hops_per_s: hops as f64 / metrics_s.max(1e-12),
+        peak_rss_kb: peak_rss_kb(),
+        ..Rung::default()
+    };
+    Some((rung, emb))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(rungs: &[Rung], threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"BENCH_3\",");
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = writeln!(out, "  \"created_unix\": {unix},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    out.push_str("  \"rungs\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"route_hops\": {}, ",
+            json_escape(&r.shape),
+            r.nodes,
+            r.edges,
+            r.route_hops
+        );
+        let _ = write!(
+            out,
+            "\"host_dim\": {}, \"dilation\": {}, \"congestion\": {}, ",
+            r.host_dim, r.dilation, r.congestion
+        );
+        let _ = write!(
+            out,
+            "\"plan_s\": {:.6}, \"construct_s\": {:.6}, \"metrics_s\": {:.6}, \"verify_s\": {:.6}, ",
+            r.plan_s, r.construct_s, r.metrics_s, r.verify_s
+        );
+        let _ = write!(
+            out,
+            "\"construct_nodes_per_s\": {:.1}, \"metrics_hops_per_s\": {:.1}, ",
+            r.construct_nodes_per_s, r.metrics_hops_per_s
+        );
+        let _ = write!(
+            out,
+            "\"seq_construct_s\": {:.6}, \"seq_metrics_s\": {:.6}, \"speedup_construct_metrics\": {:.3}, ",
+            r.seq_construct_s, r.seq_metrics_s, r.speedup_construct_metrics
+        );
+        let _ = write!(out, "\"peak_rss_kb\": {}", r.peak_rss_kb);
+        out.push('}');
+        out.push_str(if i + 1 < rungs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_shape(s: &str) -> Option<Vec<usize>> {
+    let dims: Vec<usize> = s
+        .split('x')
+        .map(|t| t.parse().ok())
+        .collect::<Option<_>>()?;
+    (!dims.is_empty() && dims.iter().all(|&d| d > 0)).then_some(dims)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    obs::init_from_env();
+    if args.iter().any(|a| a == "--stats") && obs::mode() == obs::StatsMode::Off {
+        obs::set_mode(obs::StatsMode::Text);
+    }
+    if let Some(t) = flag_value(&args, "--threads") {
+        std::env::set_var("RAYON_NUM_THREADS", &t);
+    }
+    let threads = rayon::current_num_threads();
+    let par_only = args.iter().any(|a| a == "--par-only");
+    let reps: usize = flag_value(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_3.json".to_owned());
+
+    let ladder: Vec<Vec<usize>> = if let Some(list) = flag_value(&args, "--shapes") {
+        match list.split(',').map(parse_shape).collect::<Option<Vec<_>>>() {
+            Some(v) => v,
+            None => {
+                eprintln!("cubemesh-bench: bad --shapes '{list}'");
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.iter().any(|a| a == "--quick") {
+        vec![vec![16, 16, 16]]
+    } else {
+        LADDER.iter().map(|d| d.to_vec()).collect()
+    };
+
+    let mut rungs = Vec::new();
+    for dims in &ladder {
+        let Some((mut rung, emb)) = run_pipeline(dims, reps) else {
+            continue;
+        };
+        let m_par = emb.metrics();
+        drop(emb);
+
+        if !par_only {
+            // Sequential re-run: same pipeline with one worker. The env
+            // var is re-read per parallel region, so toggling it here
+            // switches every stage onto the sequential path.
+            std::env::set_var("RAYON_NUM_THREADS", "1");
+            let shape = Shape::new(dims);
+            let mut planner = Planner::new();
+            let plan = planner.plan(&shape).expect("planned above");
+            let (mut seq_construct_s, mut seq_metrics_s) = (f64::MAX, f64::MAX);
+            let mut m_seq = m_par;
+            for _ in 0..reps.max(1) {
+                let (emb_seq, c) = time(|| construct(&shape, &plan));
+                seq_construct_s = seq_construct_s.min(c);
+                let (m, ms) = time(|| emb_seq.metrics());
+                seq_metrics_s = seq_metrics_s.min(ms);
+                m_seq = m;
+                if let Err(e) = emb_seq.verify() {
+                    eprintln!("cubemesh-bench: {shape} sequential verify failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            if m_seq != m_par {
+                eprintln!(
+                    "cubemesh-bench: {shape}: parallel metrics {m_par:?} != sequential {m_seq:?}"
+                );
+                return ExitCode::FAILURE;
+            }
+            rung.seq_construct_s = seq_construct_s;
+            rung.seq_metrics_s = seq_metrics_s;
+            rung.speedup_construct_metrics =
+                (seq_construct_s + seq_metrics_s) / (rung.construct_s + rung.metrics_s).max(1e-12);
+        }
+
+        println!(
+            "{:>12}  nodes {:>9}  construct {:>8.3}s  metrics {:>7.3}s  verify {:>7.3}s  \
+             d={} c={}{}",
+            rung.shape,
+            rung.nodes,
+            rung.construct_s,
+            rung.metrics_s,
+            rung.verify_s,
+            rung.dilation,
+            rung.congestion,
+            if par_only {
+                String::new()
+            } else {
+                format!("  speedup {:.2}x", rung.speedup_construct_metrics)
+            }
+        );
+        rungs.push(rung);
+    }
+
+    if rungs.is_empty() {
+        eprintln!("cubemesh-bench: no rungs completed");
+        return ExitCode::FAILURE;
+    }
+    let doc = to_json(&rungs, threads);
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cubemesh-bench: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--json") {
+        print!("{doc}");
+    }
+    println!("wrote {out_path}");
+    obs::report();
+    ExitCode::SUCCESS
+}

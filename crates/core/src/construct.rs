@@ -2,10 +2,9 @@
 
 use crate::plan::{reduce, Plan};
 use crate::product::mesh_product_embedding;
-use cubemesh_embedding::builders::mesh_edge_list;
-use cubemesh_embedding::{gray_mesh_embedding, Embedding};
+use cubemesh_embedding::{gray_mesh_embedding, Embedding, MeshEdgeView};
 use cubemesh_search::catalog_embedding;
-use cubemesh_topology::{Mesh, Shape};
+use cubemesh_topology::Shape;
 
 /// Build the embedding a plan describes for `shape`.
 ///
@@ -42,18 +41,11 @@ fn construct_reduced(shape: &Shape, plan: &Plan) -> Embedding {
 
 /// Re-declare a mesh embedding at a different rank with the same reduced
 /// shape. Length-1 axes change neither linear node indices nor the edge
-/// enumeration, so the map and routes transfer verbatim; only the guest
-/// edge endpoints are recomputed (and are equal as indices).
+/// enumeration, so the map and routes transfer verbatim and only the guest
+/// shape is swapped — an O(rank) relabel, with no edge list materialized
+/// at any recursion level of [`construct`].
 pub fn lift(emb: Embedding, shape: &Shape) -> Embedding {
-    let mesh = Mesh::new(shape.clone());
-    assert_eq!(emb.guest_nodes(), mesh.nodes(), "lift must preserve nodes");
-    assert_eq!(
-        emb.guest_edges().len(),
-        mesh.edge_count(),
-        "lift must preserve edges"
-    );
-    let (nodes, _, host, map, routes) = emb.into_parts();
-    Embedding::new(nodes, mesh_edge_list(&mesh), host, map, routes)
+    emb.with_mesh_guest(shape)
 }
 
 /// Restrict a mesh embedding of `big` to the submesh `small`
@@ -64,29 +56,27 @@ pub fn restrict(emb: &Embedding, big: &Shape, small: &Shape) -> Embedding {
     assert!(small.fits_in(big), "{} does not fit in {}", small, big);
     assert_eq!(emb.guest_nodes(), big.nodes());
     let idx = crate::product::MeshEdgeIndex::new(big);
-    let mesh = Mesh::new(small.clone());
+    let view = MeshEdgeView::new(small);
+    let edge_count = view.edge_count();
+    let rank = small.rank();
 
     let mut map = Vec::with_capacity(small.nodes());
-    for c in small.iter_coords() {
-        map.push(emb.image(big.index(&c)));
-    }
-
-    let mut edges = Vec::with_capacity(mesh.edge_count());
-    let mut routes =
-        cubemesh_embedding::RouteSet::with_capacity(mesh.edge_count(), mesh.edge_count() * 3);
-    for c in small.iter_coords() {
-        let node = small.index(&c) as u32;
-        for axis in 0..small.rank() {
-            if c[axis] + 1 >= small.len(axis) {
+    let mut routes = cubemesh_embedding::RouteSet::with_capacity(edge_count, edge_count * 3);
+    let mut c = vec![0usize; rank];
+    loop {
+        let big_node = big.index(&c);
+        map.push(emb.image(big_node));
+        for (axis, &coord) in c.iter().enumerate() {
+            if coord + 1 >= small.len(axis) {
                 continue;
             }
-            let stride: usize = small.dims()[axis + 1..].iter().product();
-            edges.push((node, node + stride as u32));
-            let big_edge = idx.id(big.index(&c), axis);
-            routes.push(emb.routes().route(big_edge));
+            routes.push(emb.routes().route(idx.id(big_node, axis)));
+        }
+        if !small.advance_coords(&mut c) {
+            break;
         }
     }
-    Embedding::new(small.nodes(), edges, emb.host(), map, routes)
+    Embedding::new_mesh(small, emb.host(), map, routes)
 }
 
 #[cfg(test)]

@@ -17,8 +17,12 @@
 //!   `φ₂(y) ‖ φ₁(x′)`. Allowing `ℓᵢ < ℓ₁ᵢ·ℓ₂ᵢ` implements the §4.2
 //!   axis-extension trick (embed the slightly larger mesh, restrict).
 
+use cubemesh_embedding::builders::{node_chunks, MeshEdgeView};
 use cubemesh_embedding::{Embedding, RouteSet};
+use cubemesh_obs as obs;
 use cubemesh_topology::{Hypercube, Mesh, Shape};
+use rayon::prelude::*;
+use std::ops::Range;
 
 /// Edge-id lookup for the canonical mesh edge enumeration: `id(node, axis)`
 /// is the position of that edge in [`Mesh::edges`] order.
@@ -71,7 +75,7 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
         }
     }
 
-    let edge_total = n1 * e2.guest_edges().len() + n2 * e1.guest_edges().len();
+    let edge_total = n1 * e2.edge_count() + n2 * e1.edge_count();
     let mut edges = Vec::with_capacity(edge_total);
     let mut routes = RouteSet::with_capacity(edge_total, edge_total * 2);
 
@@ -79,7 +83,7 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
     for u in 0..n1 {
         let hi = e1.image(u) << shift;
         let base = (u * n2) as u32;
-        for (i, &(a, b)) in e2.guest_edges().iter().enumerate() {
+        for (i, (a, b)) in e2.edges_iter().enumerate() {
             edges.push((base + a, base + b));
             routes.push_iter(e2.routes().route(i).iter().map(|&r| hi | r));
         }
@@ -87,7 +91,7 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
     // G₁-type edges: copy of G₁ for every node v of G₂.
     for v in 0..n2 {
         let lo = e2.image(v);
-        for (i, &(a, b)) in e1.guest_edges().iter().enumerate() {
+        for (i, (a, b)) in e1.edges_iter().enumerate() {
             edges.push(((a as usize * n2 + v) as u32, (b as usize * n2 + v) as u32));
             routes.push_iter(e1.routes().route(i).iter().map(|&r| (r << shift) | lo));
         }
@@ -135,10 +139,6 @@ pub fn mesh_product_embedding(
     let idx1 = MeshEdgeIndex::new(s1);
     let idx2 = MeshEdgeIndex::new(s2);
 
-    let mut x = vec![0usize; k];
-    let mut y = vec![0usize; k];
-    let mut xr = vec![0usize; k];
-
     // Decompose z into (y, x) and the reflected x'.
     let split = |z: &[usize], x: &mut [usize], y: &mut [usize], xr: &mut [usize]| {
         for i in 0..z.len() {
@@ -153,57 +153,94 @@ pub fn mesh_product_embedding(
         }
     };
 
-    let mesh = Mesh::new(shape.clone());
-    let mut map = vec![0u64; shape.nodes()];
-    for z in shape.iter_coords() {
-        split(&z, &mut x, &mut y, &mut xr);
-        let a1 = e1.image(s1.index(&xr));
-        let a2 = e2.image(s2.index(&y));
-        map[shape.index(&z)] = (a2 << n1) | a1;
-    }
-
-    let edge_total = mesh.edge_count();
-    let mut edges = Vec::with_capacity(edge_total);
-    let mut routes = RouteSet::with_capacity(edge_total, edge_total * 3);
-
-    for z in shape.iter_coords() {
-        let znode = shape.index(&z) as u32;
-        split(&z, &mut x, &mut y, &mut xr);
-        for axis in 0..k {
-            if z[axis] + 1 >= shape.len(axis) {
-                continue;
+    // Node map, filled in parallel chunks. The factor indices fold over the
+    // axes directly, so a worker needs no coordinate scratch beyond the
+    // cursor `fill_node_map` maintains.
+    let map = {
+        let _span = obs::span!("product.map");
+        cubemesh_embedding::builders::fill_node_map(shape, |z| {
+            let mut i1 = 0usize;
+            let mut i2 = 0usize;
+            for (i, &zi) in z.iter().enumerate() {
+                let l1 = s1.len(i);
+                let y = zi / l1;
+                let x = zi % l1;
+                let xr = if y.is_multiple_of(2) { x } else { l1 - 1 - x };
+                i1 = i1 * l1 + xr;
+                i2 = i2 * s2.len(i) + y;
             }
-            // Stride of `axis` in the target mesh's linear index.
-            let stride: usize = shape.dims()[axis + 1..].iter().product();
-            edges.push((znode, znode + stride as u32));
+            (e2.image(i2) << n1) | e1.image(i1)
+        })
+    };
 
-            let l1 = s1.len(axis);
-            if (z[axis] + 1) % l1 == 0 {
-                // M₂-type edge: y -> y + e_axis; x' identical on both ends.
-                let ynode = s2.index(&y);
-                let a1 = e1.image(s1.index(&xr));
-                let rid = idx2.id(ynode, axis);
-                routes.push_iter(e2.routes().route(rid).iter().map(|&r| (r << n1) | a1));
-            } else {
-                // M₁-type edge within instance y; reflected when y is odd.
-                let a2 = e2.image(s2.index(&y)) << n1;
-                let xnode = s1.index(&xr);
-                if y[axis].is_multiple_of(2) {
-                    // x' increases along the edge: stored route runs forward.
-                    let rid = idx1.id(xnode, axis);
-                    routes.push_iter(e1.routes().route(rid).iter().map(|&r| a2 | r));
+    // Routes, built per contiguous node range. The canonical enumeration
+    // visits nodes in linear order and axes ascending within a node, so
+    // ranges split at node boundaries produce dense, splicable edge-id
+    // runs; `edges_before_node` sizes each worker's arena exactly.
+    let view = MeshEdgeView::new(shape);
+    let fill_routes = |range: Range<usize>| -> RouteSet {
+        let chunk_edges = view.edges_before_node(range.end) - view.edges_before_node(range.start);
+        let mut rs = RouteSet::with_capacity(chunk_edges, chunk_edges * 3);
+        let mut z = vec![0usize; k];
+        let mut x = vec![0usize; k];
+        let mut y = vec![0usize; k];
+        let mut xr = vec![0usize; k];
+        shape.coords_into(range.start, &mut z);
+        for _ in range {
+            split(&z, &mut x, &mut y, &mut xr);
+            for axis in 0..k {
+                if z[axis] + 1 >= shape.len(axis) {
+                    continue;
+                }
+                let l1 = s1.len(axis);
+                if (z[axis] + 1).is_multiple_of(l1) {
+                    // M₂-type edge: y -> y + e_axis; x' identical on both ends.
+                    let ynode = s2.index(&y);
+                    let a1 = e1.image(s1.index(&xr));
+                    let rid = idx2.id(ynode, axis);
+                    rs.push_iter(e2.routes().route(rid).iter().map(|&r| (r << n1) | a1));
                 } else {
-                    // x' decreases: the canonical edge starts at x' - 1;
-                    // reverse its route.
-                    let s1_stride: usize = s1.dims()[axis + 1..].iter().product();
-                    let rid = idx1.id(xnode - s1_stride, axis);
-                    routes.push_iter(e1.routes().route(rid).iter().rev().map(|&r| a2 | r));
+                    // M₁-type edge within instance y; reflected when y is odd.
+                    let a2 = e2.image(s2.index(&y)) << n1;
+                    let xnode = s1.index(&xr);
+                    if y[axis].is_multiple_of(2) {
+                        // x' increases along the edge: stored route runs forward.
+                        let rid = idx1.id(xnode, axis);
+                        rs.push_iter(e1.routes().route(rid).iter().map(|&r| a2 | r));
+                    } else {
+                        // x' decreases: the canonical edge starts at x' - 1;
+                        // reverse its route.
+                        let s1_stride: usize = s1.dims()[axis + 1..].iter().product();
+                        let rid = idx1.id(xnode - s1_stride, axis);
+                        rs.push_iter(e1.routes().route(rid).iter().rev().map(|&r| a2 | r));
+                    }
                 }
             }
+            shape.advance_coords(&mut z);
         }
-    }
+        rs
+    };
 
-    Embedding::new(shape.nodes(), edges, host, map, routes)
+    let routes = {
+        let _span = obs::span!("product.routes");
+        let chunks = node_chunks(shape.nodes());
+        if chunks.len() == 1 {
+            fill_routes(0..shape.nodes())
+        } else {
+            let parts: Vec<RouteSet> = chunks.into_par_iter().map(fill_routes).collect();
+            let total_nodes: usize = parts
+                .iter()
+                .map(|p| p.total_length() as usize + p.len())
+                .sum();
+            let mut combined = RouteSet::with_capacity(view.edge_count(), total_nodes);
+            for p in &parts {
+                combined.append(p);
+            }
+            combined
+        }
+    };
+
+    Embedding::new_mesh(shape, host, map, routes)
 }
 
 #[cfg(test)]

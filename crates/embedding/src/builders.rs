@@ -1,21 +1,197 @@
-//! Convenience constructors for mesh embeddings.
+//! Convenience constructors for mesh embeddings, plus the implicit
+//! (index-computable) mesh edge enumeration every hot path iterates.
+//!
+//! The canonical mesh edge order — nodes in row-major order, axes
+//! ascending, skipping high-boundary nodes — is pure arithmetic on a
+//! [`Shape`], so paper-scale guests never need a materialized
+//! `Vec<(u32, u32)>`: a [`MeshEdgeView`] yields endpoints on the fly,
+//! knows how many edges precede any node in closed form (which is what
+//! lets metrics/verify/construction shard the edge space over workers at
+//! node boundaries), and costs `O(rank)` memory.
 
 use crate::map::Embedding;
 use crate::route::RouteSet;
 use crate::router::{route_all, RouteStrategy};
 use cubemesh_gray::{gray_mesh_address, AxisLayout};
 use cubemesh_topology::{Hypercube, Mesh, Shape};
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Below this many guest nodes a mesh sweep stays sequential: thread
+/// spawn/join overhead would dominate, and censuses construct thousands
+/// of such small shapes in a tight loop.
+pub const PAR_MIN_NODES: usize = 1 << 15;
+
+/// Contiguous node ranges for a parallel mesh sweep: one per rayon
+/// worker, or a single whole-range chunk when the sweep is too small (or
+/// the worker pool has one thread) to be worth fanning out.
+pub fn node_chunks(nodes: usize) -> Vec<Range<usize>> {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || nodes < PAR_MIN_NODES {
+        return std::iter::once(0..nodes).collect();
+    }
+    let chunk = nodes.div_ceil(threads);
+    (0..threads)
+        .map(|w| (w * chunk).min(nodes)..((w + 1) * chunk).min(nodes))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// The canonical mesh edge enumeration as an implicit, index-computable
+/// view: edge endpoints are derived from the shape on demand instead of
+/// being stored. Replaces materialized [`mesh_edge_list`] vectors in the
+/// hot construct/metrics/verify pipeline.
+#[derive(Clone, Debug)]
+pub struct MeshEdgeView {
+    shape: Shape,
+    /// Row-major stride of each axis (product of later axis lengths).
+    strides: Vec<usize>,
+    edges: usize,
+}
+
+impl MeshEdgeView {
+    /// Build the view for a mesh shape. `O(rank)` work and memory.
+    pub fn new(shape: &Shape) -> Self {
+        let rank = shape.rank();
+        let mut strides = vec![1usize; rank];
+        for a in (0..rank.saturating_sub(1)).rev() {
+            strides[a] = strides[a + 1] * shape.len(a + 1);
+        }
+        debug_assert!(
+            shape.nodes() <= u32::MAX as usize,
+            "mesh node indices must fit in u32"
+        );
+        MeshEdgeView {
+            strides,
+            edges: shape.mesh_edges(),
+            shape: shape.clone(),
+        }
+    }
+
+    /// The underlying mesh shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Row-major stride of `axis`.
+    #[inline]
+    pub fn stride(&self, axis: usize) -> usize {
+        self.strides[axis]
+    }
+
+    /// Total number of mesh edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of edges whose lower endpoint precedes `node` in the
+    /// canonical enumeration — in closed form, `O(rank)`. This is the
+    /// edge-id offset of `node`'s first edge, which is what lets
+    /// parallel sweeps align route indices across node-range chunks.
+    pub fn edges_before_node(&self, node: usize) -> usize {
+        let mut total = 0usize;
+        for (a, &stride) in self.strides.iter().enumerate() {
+            // Along axis `a`, node m carries an edge iff its coordinate
+            // (m / stride) % len is below len - 1, i.e. m mod
+            // (stride·len) < stride·(len − 1): count those m < node.
+            let len = self.shape.len(a);
+            let period = stride * len;
+            let carry = stride * (len - 1);
+            total += (node / period) * carry + (node % period).min(carry);
+        }
+        total
+    }
+
+    /// Iterate every edge as `(u, v)` linear-index endpoints, `u < v`,
+    /// in canonical order.
+    pub fn iter(&self) -> MeshEdgeIter<'_> {
+        self.iter_nodes(0..self.shape.nodes())
+    }
+
+    /// Iterate only the edges whose lower endpoint lies in `nodes`
+    /// (edge ids `edges_before_node(start)..edges_before_node(end)`).
+    pub fn iter_nodes(&self, nodes: Range<usize>) -> MeshEdgeIter<'_> {
+        let mut coords = vec![0usize; self.shape.rank()];
+        if nodes.start > 0 && nodes.start < self.shape.nodes() {
+            self.shape.coords_into(nodes.start, &mut coords);
+        }
+        MeshEdgeIter {
+            view: self,
+            coords,
+            node: nodes.start,
+            end: nodes.end.min(self.shape.nodes()),
+            axis: 0,
+        }
+    }
+}
+
+/// Iterator over (a node range of) a [`MeshEdgeView`].
+pub struct MeshEdgeIter<'a> {
+    view: &'a MeshEdgeView,
+    coords: Vec<usize>,
+    node: usize,
+    end: usize,
+    axis: usize,
+}
+
+impl Iterator for MeshEdgeIter<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        let shape = &self.view.shape;
+        let rank = shape.rank();
+        while self.node < self.end {
+            while self.axis < rank {
+                let a = self.axis;
+                self.axis += 1;
+                if self.coords[a] + 1 < shape.len(a) {
+                    return Some((self.node as u32, (self.node + self.view.strides[a]) as u32));
+                }
+            }
+            self.axis = 0;
+            self.node += 1;
+            shape.advance_coords(&mut self.coords);
+        }
+        None
+    }
+}
 
 /// The canonical edge list of a mesh, in [`Mesh::edges`] order, as index
-/// pairs. Every mesh embedding in the workspace uses this order so routes
-/// line up.
+/// pairs — the *materialized* form, for irregular-guest call sites and
+/// routers that want a slice. Hot paths should use [`MeshEdgeView`].
 pub fn mesh_edge_list(mesh: &Mesh) -> Vec<(u32, u32)> {
-    mesh.edges()
-        .map(|e| {
-            let (a, b) = mesh.edge_endpoints(e);
-            (a as u32, b as u32)
-        })
-        .collect()
+    let view = MeshEdgeView::new(mesh.shape());
+    let mut out = Vec::with_capacity(view.edge_count());
+    out.extend(view.iter());
+    out
+}
+
+/// Fill the node map of `shape` by evaluating `f` on every coordinate
+/// vector, fanning out over node-range chunks when the mesh is large.
+pub fn fill_node_map(shape: &Shape, f: impl Fn(&[usize]) -> u64 + Sync) -> Vec<u64> {
+    let nodes = shape.nodes();
+    let chunks = node_chunks(nodes);
+    let fill = |range: Range<usize>| {
+        let mut part = Vec::with_capacity(range.len());
+        let mut coords = vec![0usize; shape.rank()];
+        shape.coords_into(range.start, &mut coords);
+        for _ in range {
+            part.push(f(&coords));
+            shape.advance_coords(&mut coords);
+        }
+        part
+    };
+    if chunks.len() == 1 {
+        return fill(0..nodes);
+    }
+    let parts: Vec<Vec<u64>> = chunks.into_par_iter().map(fill).collect();
+    let mut map = Vec::with_capacity(nodes);
+    for part in parts {
+        map.extend_from_slice(&part);
+    }
+    map
 }
 
 /// Build a mesh embedding from an address function, generating routes with
@@ -27,14 +203,13 @@ pub fn mesh_edge_list(mesh: &Mesh) -> Vec<(u32, u32)> {
 pub fn mesh_embedding_from_fn(
     shape: &Shape,
     host: Hypercube,
-    f: impl Fn(&[usize]) -> u64,
+    f: impl Fn(&[usize]) -> u64 + Sync,
     strategy: RouteStrategy,
 ) -> Embedding {
-    let mesh = Mesh::new(shape.clone());
-    let map: Vec<u64> = shape.iter_coords().map(|c| f(&c)).collect();
-    let edges = mesh_edge_list(&mesh);
+    let map = fill_node_map(shape, f);
+    let edges = mesh_edge_list(&Mesh::new(shape.clone()));
     let routes = route_all(&map, &edges, host, strategy);
-    Embedding::new(mesh.nodes(), edges, host, map, routes)
+    Embedding::new_mesh(shape, host, map, routes)
 }
 
 /// Build a mesh embedding from an explicit node map (indexed in row-major
@@ -45,11 +220,10 @@ pub fn mesh_embedding_with_router(
     map: Vec<u64>,
     strategy: RouteStrategy,
 ) -> Embedding {
-    let mesh = Mesh::new(shape.clone());
-    assert_eq!(map.len(), mesh.nodes());
-    let edges = mesh_edge_list(&mesh);
+    assert_eq!(map.len(), shape.nodes());
+    let edges = mesh_edge_list(&Mesh::new(shape.clone()));
     let routes = route_all(&map, &edges, host, strategy);
-    Embedding::new(mesh.nodes(), edges, host, map, routes)
+    Embedding::new_mesh(shape, host, map, routes)
 }
 
 /// The binary-reflected Gray-code embedding of §3.1: dilation 1,
@@ -57,21 +231,36 @@ pub fn mesh_embedding_with_router(
 ///
 /// This is the paper's method 1; its expansion is minimal exactly when
 /// [`Shape::gray_is_minimal`] holds (Theorem 1 makes this the best any
-/// dilation-one embedding can do).
+/// dilation-one embedding can do). The map and the route arena are both
+/// filled in parallel node-range chunks on large meshes.
 pub fn gray_mesh_embedding(shape: &Shape) -> Embedding {
     let layout = AxisLayout::from_shape(shape);
     let host = Hypercube::new(layout.total_dim());
-    let mesh = Mesh::new(shape.clone());
-    let map: Vec<u64> = shape
-        .iter_coords()
-        .map(|c| gray_mesh_address(&layout, &c))
-        .collect();
-    let edges = mesh_edge_list(&mesh);
-    let mut routes = RouteSet::with_capacity(edges.len(), edges.len() * 2);
-    for &(u, v) in &edges {
-        routes.push(&[map[u as usize], map[v as usize]]);
-    }
-    Embedding::new(mesh.nodes(), edges, host, map, routes)
+    let map = fill_node_map(shape, |c| gray_mesh_address(&layout, c));
+    let view = MeshEdgeView::new(shape);
+
+    // Every Gray route is the two-node path between adjacent addresses.
+    let build = |range: Range<usize>| {
+        let lo = view.edges_before_node(range.start);
+        let hi = view.edges_before_node(range.end);
+        let mut part = RouteSet::with_capacity(hi - lo, (hi - lo) * 2);
+        for (u, v) in view.iter_nodes(range) {
+            part.push_pair(map[u as usize], map[v as usize]);
+        }
+        part
+    };
+    let chunks = node_chunks(shape.nodes());
+    let routes = if chunks.len() == 1 {
+        build(0..shape.nodes())
+    } else {
+        let parts: Vec<RouteSet> = chunks.into_par_iter().map(build).collect();
+        let mut routes = RouteSet::with_capacity(view.edge_count(), view.edge_count() * 2);
+        for part in &parts {
+            routes.append(part);
+        }
+        routes
+    };
+    Embedding::new_mesh(shape, host, map, routes)
 }
 
 #[cfg(test)]
@@ -128,5 +317,59 @@ mod tests {
         e.verify().unwrap();
         assert_eq!(e.host().dim(), 0);
         assert_eq!(e.metrics().dilation, 0);
+    }
+
+    #[test]
+    fn view_matches_mesh_enumeration() {
+        for dims in [
+            vec![1usize],
+            vec![7],
+            vec![1, 1, 1],
+            vec![3, 4],
+            vec![3, 4, 5],
+            vec![1, 6, 1, 2],
+            vec![2, 2, 2, 2],
+        ] {
+            let shape = Shape::new(&dims);
+            let mesh = Mesh::new(shape.clone());
+            let view = MeshEdgeView::new(&shape);
+            let expected: Vec<(u32, u32)> = mesh
+                .edges()
+                .map(|e| {
+                    let (a, b) = mesh.edge_endpoints(e);
+                    (a as u32, b as u32)
+                })
+                .collect();
+            let got: Vec<(u32, u32)> = view.iter().collect();
+            assert_eq!(got, expected, "shape {:?}", dims);
+            assert_eq!(view.edge_count(), expected.len());
+        }
+    }
+
+    #[test]
+    fn edges_before_node_matches_enumeration() {
+        let shape = Shape::new(&[3, 4, 5]);
+        let view = MeshEdgeView::new(&shape);
+        let all: Vec<(u32, u32)> = view.iter().collect();
+        for node in 0..=shape.nodes() {
+            let expect = all.iter().filter(|&&(u, _)| (u as usize) < node).count();
+            assert_eq!(view.edges_before_node(node), expect, "node {}", node);
+        }
+    }
+
+    #[test]
+    fn iter_nodes_partitions_the_edge_space() {
+        let shape = Shape::new(&[4, 3, 5]);
+        let view = MeshEdgeView::new(&shape);
+        let all: Vec<(u32, u32)> = view.iter().collect();
+        for split in [1, 7, 29, 43, shape.nodes()] {
+            let mut joined: Vec<(u32, u32)> = view.iter_nodes(0..split).collect();
+            joined.extend(view.iter_nodes(split..shape.nodes()));
+            assert_eq!(joined, all, "split {}", split);
+            assert_eq!(
+                view.iter_nodes(0..split).count(),
+                view.edges_before_node(split)
+            );
+        }
     }
 }

@@ -26,8 +26,10 @@ pub mod route;
 pub mod router;
 pub mod verify;
 
-pub use builders::{gray_mesh_embedding, mesh_embedding_from_fn, mesh_embedding_with_router};
-pub use map::Embedding;
+pub use builders::{
+    gray_mesh_embedding, mesh_embedding_from_fn, mesh_embedding_with_router, MeshEdgeView,
+};
+pub use map::{Embedding, GuestEdges};
 pub use metrics::{load_factor, Metrics};
 pub use route::RouteSet;
 pub use router::RouteStrategy;

@@ -1,8 +1,27 @@
 //! Expansion, dilation, congestion, and their averages (Definitions 1–3),
 //! plus the load-factor of §7 for many-to-one maps.
+//!
+//! Congestion is computed by sorting the dense edge indices of every route
+//! step and counting runs — `O(L log L)` in the total route length `L`, with
+//! no per-host-edge allocation, so it scales to guests with millions of
+//! edges in cubes far too large to materialize. Two refinements keep the
+//! paper-scale shapes fast:
+//!
+//! * when the host's edge-index space fits in `u32` (any cube up to `Q_26`),
+//!   steps are gathered and sorted as `u32`, halving sort traffic;
+//! * with more than one rayon thread, routes are sharded into contiguous
+//!   index chunks, each worker sorts its own steps, and the sorted partials
+//!   are k-way merged while counting runs — bitwise the same `Metrics` as
+//!   the sequential path ([`metrics_par`] and [`metrics_seq`] are
+//!   property-tested for exact agreement).
 
+use crate::builders::PAR_MIN_NODES;
 use crate::map::Embedding;
+use cubemesh_obs as obs;
 use cubemesh_topology::Hypercube;
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// All figures of merit of an embedding.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -33,30 +52,78 @@ impl Metrics {
     }
 }
 
-/// Compute all metrics of an embedding.
-///
-/// Congestion is computed by sorting the dense edge indices of every route
-/// step and counting runs — O(L log L) in the total route length L, with no
-/// per-host-edge allocation, so it scales to guests with millions of edges
-/// in cubes far too large to materialize.
+/// Compute all metrics of an embedding. Dispatches to the sharded path when
+/// more than one rayon thread is available and the route arena is large
+/// enough to amortize the worker hand-off; both paths return identical
+/// values.
 pub fn metrics(e: &Embedding) -> Metrics {
+    if rayon::current_num_threads() > 1 && e.routes().total_length() >= PAR_MIN_NODES as u64 {
+        metrics_par(e)
+    } else {
+        metrics_seq(e)
+    }
+}
+
+/// Single-threaded metrics: one pass gathering steps, one sort, one run
+/// count.
+pub fn metrics_seq(e: &Embedding) -> Metrics {
+    let _span = obs::span!("metrics.seq");
+    dil_cong_dispatch(e, 1)
+}
+
+/// Sharded metrics: contiguous route chunks per worker, per-worker sorts,
+/// k-way run-counting merge. Always uses at least two shards so the merge
+/// path is exercised (and testable) even on a single-core host; agrees
+/// exactly with [`metrics_seq`].
+pub fn metrics_par(e: &Embedding) -> Metrics {
+    let _span = obs::span!("metrics.par");
+    dil_cong_dispatch(e, rayon::current_num_threads().max(2))
+}
+
+fn dil_cong_dispatch(e: &Embedding, parts: usize) -> Metrics {
+    let host = e.host();
+    let space = host.edge_index_space();
+    // When the host's edge-index space is within a small factor of the
+    // total route length, a direct count array beats sorting the steps:
+    // one increment per step plus a linear max scan, no O(L log L) sort.
+    // (The cap keeps the array under ~256 MiB for sparse giant cubes.)
+    let total_len = e.routes().total_length();
+    if parts <= 1 && space as u64 <= 16 * total_len && space <= 1 << 26 {
+        let (dilation, congestion) = dil_cong_counted(e);
+        return finish_metrics(e, dilation, congestion);
+    }
+    // Any cube with edge_index_space() <= u32::MAX (dim <= 26) can count
+    // congestion over u32 steps — half the memory traffic of u64.
+    let (dilation, congestion) = if space <= u32::MAX as usize {
+        dil_cong(e, parts, |i| i as u32)
+    } else {
+        dil_cong(e, parts, |i| i as u64)
+    };
+    finish_metrics(e, dilation, congestion)
+}
+
+/// Dilation + congestion via a dense per-host-edge count array — exact,
+/// and faster than sort-and-count when the index space is not much larger
+/// than the number of route steps.
+fn dil_cong_counted(e: &Embedding) -> (u32, u32) {
     let host = e.host();
     let routes = e.routes();
-    let guest_edge_count = e.guest_edges().len();
-
-    let mut dilation = 0u32;
-    let total_len = routes.total_length();
-    let mut steps: Vec<u64> = Vec::with_capacity(total_len as usize);
+    let mut counts = vec![0u32; host.edge_index_space()];
+    let mut dil = 0u32;
     for i in 0..routes.len() {
-        dilation = dilation.max(routes.dilation(i));
-        let r = routes.route(i);
-        for w in r.windows(2) {
+        dil = dil.max(routes.dilation(i));
+        for w in routes.route(i).windows(2) {
             let bit = (w[0] ^ w[1]).trailing_zeros();
-            steps.push(host.edge_index(w[0], bit) as u64);
+            counts[host.edge_index(w[0], bit)] += 1;
         }
     }
-    let congestion = max_run_length(&mut steps);
+    (dil, counts.iter().copied().max().unwrap_or(0))
+}
 
+fn finish_metrics(e: &Embedding, dilation: u32, congestion: u32) -> Metrics {
+    let host = e.host();
+    let guest_edge_count = e.edge_count();
+    let total_len = e.routes().total_length();
     let host_edges = host.edge_count();
     Metrics {
         host_dim: host.dim(),
@@ -78,13 +145,55 @@ pub fn metrics(e: &Embedding) -> Metrics {
     }
 }
 
-/// Longest run in the multiset `items` (sorted in place).
-fn max_run_length(items: &mut [u64]) -> u32 {
-    items.sort_unstable();
+/// Maximum dilation and congestion over the routes, sharded `parts` ways.
+/// `conv` narrows the dense host-edge index to the counting type.
+fn dil_cong<T>(e: &Embedding, parts: usize, conv: impl Fn(usize) -> T + Send + Sync) -> (u32, u32)
+where
+    T: Ord + Copy + Send,
+{
+    let host = e.host();
+    let routes = e.routes();
+    let n = routes.len();
+
+    let gather = |lo: usize, hi: usize| -> (u32, Vec<T>) {
+        let mut dil = 0u32;
+        let mut steps: Vec<T> = Vec::with_capacity(routes.span_length(lo, hi));
+        for i in lo..hi {
+            dil = dil.max(routes.dilation(i));
+            for w in routes.route(i).windows(2) {
+                let bit = (w[0] ^ w[1]).trailing_zeros();
+                steps.push(conv(host.edge_index(w[0], bit)));
+            }
+        }
+        steps.sort_unstable();
+        (dil, steps)
+    };
+
+    if parts <= 1 || n < 2 {
+        let (dil, steps) = gather(0, n);
+        return (dil, max_run_sorted(&steps));
+    }
+
+    let chunk = n.div_ceil(parts);
+    let bounds: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    let shards: Vec<(u32, Vec<T>)> = bounds
+        .into_par_iter()
+        .map(|(lo, hi)| gather(lo, hi))
+        .collect();
+    let dil = shards.iter().map(|s| s.0).max().unwrap_or(0);
+    let lists: Vec<Vec<T>> = shards.into_iter().map(|s| s.1).collect();
+    (dil, max_run_merged(&lists))
+}
+
+/// Longest run in an already-sorted slice.
+fn max_run_sorted<T: Ord + Copy>(items: &[T]) -> u32 {
     let mut best = 0u32;
     let mut run = 0u32;
     let mut prev = None;
-    for &x in items.iter() {
+    for &x in items {
         if prev == Some(x) {
             run += 1;
         } else {
@@ -96,13 +205,45 @@ fn max_run_length(items: &mut [u64]) -> u32 {
     best
 }
 
+/// Longest run across sorted lists, k-way merged with a min-heap. The merge
+/// visits elements in exactly the order a global sort would, so the result
+/// equals `max_run_sorted` of the concatenated-and-sorted lists.
+fn max_run_merged<T: Ord + Copy>(lists: &[Vec<T>]) -> u32 {
+    let mut heap: BinaryHeap<Reverse<(T, usize)>> = lists
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(i, l)| Reverse((l[0], i)))
+        .collect();
+    let mut pos = vec![1usize; lists.len()];
+    let mut best = 0u32;
+    let mut run = 0u32;
+    let mut prev = None;
+    while let Some(Reverse((x, i))) = heap.pop() {
+        if prev == Some(x) {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(x);
+        }
+        best = best.max(run);
+        let p = pos[i];
+        if p < lists[i].len() {
+            heap.push(Reverse((lists[i][p], i)));
+            pos[i] = p + 1;
+        }
+    }
+    best
+}
+
 /// Load-factor (Definition 5): the maximum number of guest nodes mapped to
 /// one host node. For one-to-one maps this is 1 (or 0 for an empty map).
 pub fn load_factor(map: &[u64], host: Hypercube) -> u32 {
     debug_assert!(map.iter().all(|&a| host.contains(a)));
     let _ = host;
     let mut sorted: Vec<u64> = map.to_vec();
-    max_run_length(&mut sorted)
+    sorted.sort_unstable();
+    max_run_sorted(&sorted)
 }
 
 #[cfg(test)]
@@ -172,11 +313,28 @@ mod tests {
     #[test]
     fn zero_edge_guest() {
         let e = Embedding::new(1, vec![], Hypercube::new(0), vec![0], RouteSet::new());
-        let m = e.metrics();
-        assert_eq!(m.dilation, 0);
-        assert_eq!(m.congestion, 0);
-        assert_eq!(m.avg_dilation, 0.0);
-        assert_eq!(m.avg_congestion, 0.0);
+        for m in [metrics_seq(&e), metrics_par(&e)] {
+            assert_eq!(m.dilation, 0);
+            assert_eq!(m.congestion, 0);
+            assert_eq!(m.avg_dilation, 0.0);
+            assert_eq!(m.avg_congestion, 0.0);
+        }
+    }
+
+    #[test]
+    fn par_agrees_with_seq_on_small_fixture() {
+        let e = ring4_in_q2();
+        assert_eq!(metrics_seq(&e), metrics_par(&e));
+    }
+
+    #[test]
+    fn merged_run_equals_global_sort() {
+        let lists = vec![vec![1u32, 3, 3, 9], vec![], vec![2, 3, 3, 3], vec![3]];
+        let mut flat: Vec<u32> = lists.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(max_run_merged(&lists), max_run_sorted(&flat));
+        assert_eq!(max_run_merged(&lists), 6); // six 3s across the lists
+        assert_eq!(max_run_merged::<u32>(&[]), 0);
     }
 
     #[test]

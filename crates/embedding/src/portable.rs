@@ -17,37 +17,60 @@
 //! ```
 //!
 //! Addresses and node ids are decimal; routes appear in guest-edge order.
+//! The writer formats into a reusable in-memory buffer and hands the sink
+//! large blocks, so serializing a million-route embedding does not make a
+//! million tiny `write` calls; the emitted bytes are identical to the
+//! one-`write!`-per-number formulation (asserted by test).
 
 use crate::map::Embedding;
 use crate::route::RouteSet;
 use cubemesh_topology::Hypercube;
+use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 
 const MAGIC: &str = "cubemesh-embedding v1";
 
+/// Flush the format buffer to the sink once it grows past this many bytes.
+const FLUSH_AT: usize = 256 * 1024;
+
 /// Serialize an embedding.
 pub fn write_embedding(emb: &Embedding, w: &mut impl Write) -> io::Result<()> {
-    writeln!(w, "{}", MAGIC)?;
-    writeln!(w, "guest_nodes {}", emb.guest_nodes())?;
-    writeln!(w, "host_dim {}", emb.host().dim())?;
-    write!(w, "map")?;
-    for &a in emb.map() {
-        write!(w, " {}", a)?;
-    }
-    writeln!(w)?;
-    write!(w, "edges")?;
-    for &(u, v) in emb.guest_edges() {
-        write!(w, " {} {}", u, v)?;
-    }
-    writeln!(w)?;
-    for r in emb.routes().iter() {
-        write!(w, "route")?;
-        for &a in r {
-            write!(w, " {}", a)?;
+    // Formatting into a String is infallible; `buf` is drained to the sink
+    // in ~256 KiB blocks instead of one syscall-sized write per number.
+    let mut buf = String::with_capacity(FLUSH_AT + 4096);
+    let flush = |buf: &mut String, w: &mut dyn Write, force: bool| -> io::Result<()> {
+        if force || buf.len() >= FLUSH_AT {
+            w.write_all(buf.as_bytes())?;
+            buf.clear();
         }
-        writeln!(w)?;
+        Ok(())
+    };
+
+    let _ = writeln!(buf, "{}", MAGIC);
+    let _ = writeln!(buf, "guest_nodes {}", emb.guest_nodes());
+    let _ = writeln!(buf, "host_dim {}", emb.host().dim());
+    buf.push_str("map");
+    for &a in emb.map() {
+        let _ = write!(buf, " {}", a);
+        flush(&mut buf, w, false)?;
     }
-    writeln!(w, "end")
+    buf.push('\n');
+    buf.push_str("edges");
+    for (u, v) in emb.edges_iter() {
+        let _ = write!(buf, " {} {}", u, v);
+        flush(&mut buf, w, false)?;
+    }
+    buf.push('\n');
+    for r in emb.routes().iter() {
+        buf.push_str("route");
+        for &a in r {
+            let _ = write!(buf, " {}", a);
+        }
+        buf.push('\n');
+        flush(&mut buf, w, false)?;
+    }
+    buf.push_str("end\n");
+    flush(&mut buf, w, true)
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -57,7 +80,8 @@ fn bad(msg: &str) -> io::Error {
 /// Deserialize an embedding written by [`write_embedding`].
 ///
 /// Structural parsing only; call [`Embedding::verify`] afterwards if the
-/// source is untrusted.
+/// source is untrusted. The guest always comes back with an explicit edge
+/// list (the format does not record mesh shapes).
 pub fn read_embedding(r: &mut impl BufRead) -> io::Result<Embedding> {
     let mut lines = r.lines();
     let mut next_line =
@@ -141,6 +165,32 @@ mod tests {
     use crate::builders::gray_mesh_embedding;
     use cubemesh_topology::Shape;
 
+    /// The pre-buffering formulation: one `write!` per number. The format
+    /// contract is that [`write_embedding`] emits these exact bytes.
+    fn reference_write(emb: &Embedding, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "{}", MAGIC)?;
+        writeln!(w, "guest_nodes {}", emb.guest_nodes())?;
+        writeln!(w, "host_dim {}", emb.host().dim())?;
+        write!(w, "map")?;
+        for &a in emb.map() {
+            write!(w, " {}", a)?;
+        }
+        writeln!(w)?;
+        write!(w, "edges")?;
+        for (u, v) in emb.edges_iter() {
+            write!(w, " {} {}", u, v)?;
+        }
+        writeln!(w)?;
+        for r in emb.routes().iter() {
+            write!(w, "route")?;
+            for &a in r {
+                write!(w, " {}", a)?;
+            }
+            writeln!(w)?;
+        }
+        writeln!(w, "end")
+    }
+
     #[test]
     fn roundtrip() {
         let emb = gray_mesh_embedding(&Shape::new(&[3, 5]));
@@ -149,8 +199,36 @@ mod tests {
         let back = read_embedding(&mut buf.as_slice()).unwrap();
         back.verify().unwrap();
         assert_eq!(back.map(), emb.map());
-        assert_eq!(back.guest_edges(), emb.guest_edges());
+        assert_eq!(back.edges_vec(), emb.edges_vec());
         assert_eq!(back.host().dim(), emb.host().dim());
+        assert_eq!(back.metrics(), emb.metrics());
+    }
+
+    #[test]
+    fn buffered_writer_is_byte_identical() {
+        // Large enough that the buffer flushes mid-stream several times
+        // (map + edges + routes of a 64x32x4 mesh is well past 256 KiB).
+        let emb = gray_mesh_embedding(&Shape::new(&[64, 32, 4]));
+        let mut fast = Vec::new();
+        write_embedding(&emb, &mut fast).unwrap();
+        let mut slow = Vec::new();
+        reference_write(&emb, &mut slow).unwrap();
+        assert!(
+            fast.len() > FLUSH_AT,
+            "fixture too small to exercise flushing"
+        );
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn large_mesh_roundtrip_preserves_everything() {
+        let emb = gray_mesh_embedding(&Shape::new(&[64, 32, 4]));
+        let mut buf = Vec::new();
+        write_embedding(&emb, &mut buf).unwrap();
+        let back = read_embedding(&mut buf.as_slice()).unwrap();
+        back.verify().unwrap();
+        assert_eq!(back.map(), emb.map());
+        assert_eq!(back.edges_vec(), emb.edges_vec());
         assert_eq!(back.metrics(), emb.metrics());
     }
 

@@ -8,10 +8,19 @@
 //! the workspace performance guide.
 
 /// An arena of routes, indexed densely by guest-edge number.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RouteSet {
     offsets: Vec<u32>,
     nodes: Vec<u64>,
+}
+
+impl Default for RouteSet {
+    /// Same as [`RouteSet::new`]. (A derived `Default` would leave
+    /// `offsets` empty, violating the `offsets[0] == 0` invariant every
+    /// accessor relies on.)
+    fn default() -> Self {
+        RouteSet::new()
+    }
 }
 
 impl RouteSet {
@@ -45,6 +54,26 @@ impl RouteSet {
         self.nodes.extend_from_slice(path);
         self.offsets.push(self.nodes.len() as u32);
         self.offsets.len() - 2
+    }
+
+    /// Append a two-node route (the dilation-1 case every Gray-code edge
+    /// hits); cheaper than going through a slice.
+    #[inline]
+    pub fn push_pair(&mut self, a: u64, b: u64) -> usize {
+        self.nodes.push(a);
+        self.nodes.push(b);
+        self.offsets.push(self.nodes.len() as u32);
+        self.offsets.len() - 2
+    }
+
+    /// Splice another route set onto the end of this one, preserving
+    /// route order — the merge step for route arenas filled by parallel
+    /// workers over contiguous edge chunks.
+    pub fn append(&mut self, other: &RouteSet) {
+        let base = self.nodes.len() as u32;
+        self.nodes.extend_from_slice(&other.nodes);
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|&o| base + o));
     }
 
     /// Append a route given as an iterator.
@@ -85,6 +114,14 @@ impl RouteSet {
     #[inline]
     pub fn total_length(&self) -> u64 {
         (self.nodes.len() - self.len()) as u64
+    }
+
+    /// Total host-edge traversals of the route range `lo..hi` — lets
+    /// parallel metric workers pre-size their scratch exactly.
+    #[inline]
+    pub fn span_length(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi <= self.len());
+        (self.offsets[hi] - self.offsets[lo]) as usize - (hi - lo)
     }
 
     /// Iterate over all routes.
@@ -128,5 +165,33 @@ mod tests {
     #[should_panic]
     fn empty_route_rejected() {
         RouteSet::new().push(&[]);
+    }
+
+    #[test]
+    fn default_is_usable() {
+        let rs = RouteSet::default();
+        assert!(rs.is_empty());
+        assert_eq!(rs.len(), 0);
+        assert_eq!(rs.total_length(), 0);
+    }
+
+    #[test]
+    fn append_splices_in_order() {
+        let mut a = RouteSet::new();
+        a.push(&[0, 1]);
+        a.push(&[4, 5, 7]);
+        let mut b = RouteSet::new();
+        b.push_pair(2, 3);
+        b.push(&[9]);
+        a.append(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.route(0), &[0, 1]);
+        assert_eq!(a.route(1), &[4, 5, 7]);
+        assert_eq!(a.route(2), &[2, 3]);
+        assert_eq!(a.route(3), &[9]);
+        assert_eq!(a.total_length(), 4);
+        // Appending an empty set is a no-op.
+        a.append(&RouteSet::new());
+        assert_eq!(a.len(), 4);
     }
 }

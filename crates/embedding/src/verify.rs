@@ -3,9 +3,19 @@
 //! Every construction in the workspace — Gray codes, product embeddings,
 //! search results, torus constructions — is checked through this module in
 //! tests, so a bug in any builder surfaces as a precise [`VerifyError`].
+//!
+//! Route checks shard over contiguous edge-id chunks when more than one
+//! rayon thread is available. Chunks are scanned in order within a worker
+//! and the error from the earliest failing chunk is reported, so the
+//! parallel path returns *exactly* the error the sequential scan would —
+//! [`verify_many_to_one_par`] and [`verify_many_to_one_seq`] are
+//! property-tested for agreement on both passing and failing embeddings.
 
+use crate::builders::PAR_MIN_NODES;
 use crate::map::Embedding;
+use cubemesh_obs as obs;
 use cubemesh_topology::hamming;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Why an embedding failed validation.
@@ -105,8 +115,28 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 /// Validate an embedding end to end. See [`VerifyError`] for the checks.
+/// Route checks shard across rayon threads for large edge sets; the result
+/// (including which error is reported) is identical to a sequential scan.
 pub fn verify_embedding(e: &Embedding) -> Result<(), VerifyError> {
-    // Injectivity, by sorting (address, node) pairs.
+    check_injective(e)?;
+    verify_many_to_one(e)
+}
+
+/// Single-threaded [`verify_embedding`].
+pub fn verify_embedding_seq(e: &Embedding) -> Result<(), VerifyError> {
+    check_injective(e)?;
+    verify_many_to_one_seq(e)
+}
+
+/// Force-sharded [`verify_embedding`]; agrees exactly with
+/// [`verify_embedding_seq`].
+pub fn verify_embedding_par(e: &Embedding) -> Result<(), VerifyError> {
+    check_injective(e)?;
+    verify_many_to_one_par(e)
+}
+
+/// Injectivity, by sorting (address, node) pairs.
+fn check_injective(e: &Embedding) -> Result<(), VerifyError> {
     let mut pairs: Vec<(u64, usize)> = e.map().iter().enumerate().map(|(v, &a)| (a, v)).collect();
     pairs.sort_unstable();
     for w in pairs.windows(2) {
@@ -118,15 +148,49 @@ pub fn verify_embedding(e: &Embedding) -> Result<(), VerifyError> {
             });
         }
     }
-    verify_many_to_one(e)
+    Ok(())
 }
 
 /// The non-injective validation used for §7's many-to-one embeddings:
 /// address ranges and route well-formedness only. A route for an edge
 /// whose endpoints share an address is the single-node path.
 pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
+    if rayon::current_num_threads() > 1 && e.edge_count() >= PAR_MIN_NODES {
+        verify_many_to_one_par(e)
+    } else {
+        verify_many_to_one_seq(e)
+    }
+}
+
+/// Single-threaded [`verify_many_to_one`].
+pub fn verify_many_to_one_seq(e: &Embedding) -> Result<(), VerifyError> {
+    let _span = obs::span!("verify.seq");
+    check_addresses(e)?;
+    check_route_range(e, 0, e.edges_iter())
+}
+
+/// Force-sharded [`verify_many_to_one`] (at least two chunks, so the merge
+/// logic runs even on one core); agrees exactly with
+/// [`verify_many_to_one_seq`], including which error is reported.
+pub fn verify_many_to_one_par(e: &Embedding) -> Result<(), VerifyError> {
+    let _span = obs::span!("verify.par");
+    check_addresses(e)?;
+    let parts = rayon::current_num_threads().max(2);
+    let chunks = e.edges().chunks(parts);
+    let results: Vec<Result<(), VerifyError>> = chunks
+        .into_par_iter()
+        .map(|(first_edge, edges)| check_route_range(e, first_edge, edges))
+        .collect();
+    // Chunks cover ascending edge-id ranges, and within a chunk the scan is
+    // sequential — so the first Err in chunk order is the globally first.
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+fn check_addresses(e: &Embedding) -> Result<(), VerifyError> {
     let host = e.host();
-    // Address ranges.
     for (node, &addr) in e.map().iter().enumerate() {
         if !host.contains(addr) {
             return Err(VerifyError::AddressOutOfRange {
@@ -135,12 +199,25 @@ pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
             });
         }
     }
-    // Routes.
-    for (i, &(u, v)) in e.guest_edges().iter().enumerate() {
+    Ok(())
+}
+
+/// Check the routes for a contiguous run of edges starting at id
+/// `first_edge`, in order, returning the first failure.
+fn check_route_range(
+    e: &Embedding,
+    first_edge: usize,
+    edges: impl Iterator<Item = (u32, u32)>,
+) -> Result<(), VerifyError> {
+    let host = e.host();
+    let routes = e.routes();
+    let mut seen: Vec<u64> = Vec::new();
+    for (k, (u, v)) in edges.enumerate() {
+        let i = first_edge + k;
         if u as usize >= e.guest_nodes() || v as usize >= e.guest_nodes() {
             return Err(VerifyError::EdgeOutOfRange { edge: i });
         }
-        let route = e.routes().route(i);
+        let route = routes.route(i);
         let (Some(&first), Some(&last)) = (route.first(), route.last()) else {
             return Err(VerifyError::RouteEmpty { edge: i });
         };
@@ -160,7 +237,6 @@ pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
                 found: last,
             });
         }
-        let mut seen = Vec::with_capacity(route.len());
         for (step, w) in route.windows(2).enumerate() {
             if hamming(w[0], w[1]) != 1 {
                 return Err(VerifyError::RouteStepNotAdjacent {
@@ -171,6 +247,7 @@ pub fn verify_many_to_one(e: &Embedding) -> Result<(), VerifyError> {
                 });
             }
         }
+        seen.clear();
         for &addr in route {
             if !host.contains(addr) {
                 return Err(VerifyError::RouteOutOfRange {
@@ -204,6 +281,13 @@ mod tests {
         Embedding::new(map.len(), edges, Hypercube::new(3), map, rs)
     }
 
+    fn both(e: &Embedding) -> (Result<(), VerifyError>, Result<(), VerifyError>) {
+        let seq = verify_embedding_seq(e);
+        let par = verify_embedding_par(e);
+        assert_eq!(seq, par, "parallel verify must agree with sequential");
+        (seq, par)
+    }
+
     #[test]
     fn good_embedding_passes() {
         let e = build(
@@ -211,20 +295,20 @@ mod tests {
             vec![(0, 1), (0, 2)],
             vec![vec![0b000, 0b001], vec![0b000, 0b010, 0b011]],
         );
-        assert!(e.verify().is_ok());
+        assert!(both(&e).0.is_ok());
     }
 
     #[test]
     fn detects_non_injective() {
         let e = build(vec![1, 1], vec![], vec![]);
-        assert!(matches!(e.verify(), Err(VerifyError::NotInjective { .. })));
+        assert!(matches!(both(&e).0, Err(VerifyError::NotInjective { .. })));
     }
 
     #[test]
     fn detects_out_of_range_address() {
         let e = build(vec![0, 9], vec![], vec![]);
         assert!(matches!(
-            e.verify(),
+            both(&e).0,
             Err(VerifyError::AddressOutOfRange { node: 1, .. })
         ));
     }
@@ -233,12 +317,12 @@ mod tests {
     fn detects_route_endpoint_mismatch() {
         let e = build(vec![0, 1], vec![(0, 1)], vec![vec![0, 2]]);
         assert!(matches!(
-            e.verify(),
+            both(&e).0,
             Err(VerifyError::RouteEndMismatch { .. })
         ));
         let e = build(vec![0, 1], vec![(0, 1)], vec![vec![2, 1]]);
         assert!(matches!(
-            e.verify(),
+            both(&e).0,
             Err(VerifyError::RouteStartMismatch { .. })
         ));
     }
@@ -247,7 +331,7 @@ mod tests {
     fn detects_non_adjacent_step() {
         let e = build(vec![0, 3], vec![(0, 1)], vec![vec![0, 3]]);
         assert!(matches!(
-            e.verify(),
+            both(&e).0,
             Err(VerifyError::RouteStepNotAdjacent { step: 0, .. })
         ));
     }
@@ -256,8 +340,27 @@ mod tests {
     fn detects_non_simple_route() {
         let e = build(vec![0, 1], vec![(0, 1)], vec![vec![0, 2, 0, 1]]);
         assert!(matches!(
-            e.verify(),
+            both(&e).0,
             Err(VerifyError::RouteNotSimple { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_reports_the_first_error() {
+        // Two bad routes; both paths must report edge 1, not edge 2.
+        let e = build(
+            vec![0, 1, 3, 7],
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![vec![0, 1], vec![1, 0], vec![3, 1]],
+        );
+        let (seq, par) = both(&e);
+        assert!(matches!(
+            seq,
+            Err(VerifyError::RouteEndMismatch { edge: 1, .. })
+        ));
+        assert!(matches!(
+            par,
+            Err(VerifyError::RouteEndMismatch { edge: 1, .. })
         ));
     }
 }

@@ -18,8 +18,8 @@ pub fn fold_to_dim(emb: &Embedding, n: u32) -> Embedding {
     let mask = (1u64 << n) - 1;
     let map: Vec<u64> = emb.map().iter().map(|&a| a & mask).collect();
     let mut routes = RouteSet::with_capacity(
-        emb.guest_edges().len(),
-        emb.routes().total_length() as usize + emb.guest_edges().len(),
+        emb.edge_count(),
+        emb.routes().total_length() as usize + emb.edge_count(),
     );
     let mut folded: Vec<u64> = Vec::new();
     for r in emb.routes().iter() {
@@ -36,9 +36,9 @@ pub fn fold_to_dim(emb: &Embedding, n: u32) -> Embedding {
         }
         routes.push(&folded);
     }
-    Embedding::new(
+    Embedding::from_guest(
         emb.guest_nodes(),
-        emb.guest_edges().to_vec(),
+        emb.edges().clone(),
         Hypercube::new(n),
         map,
         routes,

@@ -8,8 +8,8 @@ use cubemesh_embedding::Embedding;
 /// reverse direction uses the reversed route). This is the communication
 /// pattern of one Jacobi/stencil iteration on the mesh.
 pub fn stencil_exchange(emb: &Embedding, flits: u32) -> Vec<Message> {
-    let mut msgs = Vec::with_capacity(emb.guest_edges().len() * 2);
-    for i in 0..emb.guest_edges().len() {
+    let mut msgs = Vec::with_capacity(emb.edge_count() * 2);
+    for i in 0..emb.edge_count() {
         let route = emb.routes().route(i);
         msgs.push(Message::new(route.to_vec(), flits));
         msgs.push(Message::new(route.iter().rev().copied().collect(), flits));

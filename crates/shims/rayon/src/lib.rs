@@ -4,18 +4,39 @@
 //! vendors a minimal data-parallel implementation backed by
 //! `std::thread::scope`. It covers exactly the call sites in this
 //! repository: `into_par_iter()` on integer ranges (and `Vec`), followed
-//! by `.map(f)` and a terminal `.sum()` or `.reduce(identity, op)`.
+//! by `.map(f)` and a terminal `.sum()`, `.reduce(identity, op)` or
+//! `.collect()`.
 //!
-//! Work is split into one contiguous chunk per available core. The
-//! censuses that use this fan out over at most a few hundred outer items,
-//! each carrying a large inner loop, so chunked splitting (rather than
-//! rayon's work-stealing) loses little.
+//! Work is split into one contiguous chunk per available worker. Integer
+//! ranges are split *arithmetically* — chunk `c` of `start..end` is
+//! described by an offset and a length, never materialized — so
+//! paper-scale node ranges (hundreds of millions of indices) cost no
+//! memory. `Vec` inputs are split by moving out contiguous blocks.
+//!
+//! Like real rayon, the worker count honours `RAYON_NUM_THREADS` (it is
+//! re-read per parallel region, so a bench can toggle it between runs);
+//! otherwise `std::thread::available_parallelism()` decides.
 
 use std::ops::{Range, RangeInclusive};
 
 /// Number of worker threads to fan out across.
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of worker threads a parallel region would use right now
+/// (mirrors `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    workers()
 }
 
 /// Conversion into a (shim) parallel iterator — mirrors
@@ -27,18 +48,48 @@ pub trait IntoParallelIterator {
     fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
+/// How a [`ParIter`] produces its elements.
+enum Source<T> {
+    /// An owned buffer, split into contiguous blocks.
+    Items(Vec<T>),
+    /// An arithmetic index space: element `i` is `make(i)`, `i < len`.
+    /// Nothing is materialized until a worker produces its own chunk.
+    Gen {
+        len: usize,
+        make: Box<dyn Fn(usize) -> T + Send + Sync>,
+    },
+}
+
 macro_rules! impl_into_par_range {
     ($($t:ty),*) => {$(
         impl IntoParallelIterator for Range<$t> {
             type Item = $t;
             fn into_par_iter(self) -> ParIter<$t> {
-                ParIter { items: self.collect() }
+                let start = self.start;
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter {
+                    source: Source::Gen {
+                        len,
+                        make: Box::new(move |i| start + i as $t),
+                    },
+                }
             }
         }
         impl IntoParallelIterator for RangeInclusive<$t> {
             type Item = $t;
             fn into_par_iter(self) -> ParIter<$t> {
-                ParIter { items: self.collect() }
+                let (start, end) = self.into_inner();
+                let len = if end >= start { (end - start) as usize + 1 } else { 0 };
+                ParIter {
+                    source: Source::Gen {
+                        len,
+                        make: Box::new(move |i| start + i as $t),
+                    },
+                }
             }
         }
     )*};
@@ -49,14 +100,15 @@ impl_into_par_range!(usize, u64, u32, i32);
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+        ParIter {
+            source: Source::Items(self),
+        }
     }
 }
 
-/// A materialized parallel iterator (the shim buffers items up front; the
-/// workloads here fan out over at most a few hundred outer items).
+/// A (shim) parallel iterator over an index space or an owned buffer.
 pub struct ParIter<T> {
-    items: Vec<T>,
+    source: Source<T>,
 }
 
 impl<T: Send> ParIter<T> {
@@ -66,14 +118,17 @@ impl<T: Send> ParIter<T> {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        ParMap { items: self.items, f }
+        ParMap {
+            source: self.source,
+            f,
+        }
     }
 }
 
 /// The result of [`ParIter::map`]; terminal operations run the map across
 /// worker threads.
 pub struct ParMap<T, F> {
-    items: Vec<T>,
+    source: Source<T>,
     f: F,
 }
 
@@ -85,53 +140,209 @@ where
 {
     /// Apply the map across worker threads, preserving input order.
     fn run(self) -> Vec<R> {
-        let ParMap { items, f } = self;
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
+        let ParMap { source, f } = self;
+        match source {
+            Source::Items(items) => run_items(items, &f),
+            Source::Gen { len, make } => run_gen(len, &*make, &f),
         }
-        let threads = workers().min(n);
-        if threads == 1 {
-            return items.into_iter().map(f).collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let f = &f;
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-        let mut items = items;
-        while !items.is_empty() {
-            let rest = items.split_off(items.len().min(chunk));
-            chunks.push(std::mem::replace(&mut items, rest));
-        }
-        let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("shim rayon worker panicked"));
-            }
-        });
-        out.into_iter().flatten().collect()
     }
 
-    /// Sum the mapped values (mirrors `ParallelIterator::sum`).
+    /// Sum the mapped values (mirrors `ParallelIterator::sum`). Each
+    /// worker sums its own chunk; only the per-worker partials are
+    /// combined at the end, so nothing is materialized.
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<R>,
+        S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
     {
-        self.run().into_iter().sum()
+        let ParMap { source, f } = self;
+        let partials: Vec<S> = match source {
+            Source::Items(items) => fold_items(items, &f, |it| it.sum()),
+            Source::Gen { len, make } => fold_gen(len, &*make, &f, |it| it.sum()),
+        };
+        partials.into_iter().sum()
     }
 
     /// Fold the mapped values with an identity constructor and an
-    /// associative operator (mirrors `ParallelIterator::reduce`).
+    /// associative operator (mirrors `ParallelIterator::reduce`). Each
+    /// worker folds its own chunk from `identity()`; partials are folded
+    /// at the end.
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
     where
         ID: Fn() -> R + Sync,
         OP: Fn(R, R) -> R + Sync,
     {
-        self.run().into_iter().fold(identity(), &op)
+        let ParMap { source, f } = self;
+        let op = &op;
+        let identity = &identity;
+        let partials: Vec<R> = match source {
+            Source::Items(items) => {
+                fold_items(items, &f, |it| it.fold(identity(), |a, b| op(a, b)))
+            }
+            Source::Gen { len, make } => {
+                fold_gen(len, &*make, &f, |it| it.fold(identity(), |a, b| op(a, b)))
+            }
+        };
+        partials.into_iter().fold(identity(), |a, b| op(a, b))
     }
+
+    /// Collect the mapped values in input order (mirrors
+    /// `ParallelIterator::collect` for indexed iterators).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Fold an owned buffer across workers: each worker reduces its block
+/// through `finish`; the per-worker results come back in block order.
+fn fold_items<T, R, F, S, G>(items: Vec<T>, f: &F, finish: G) -> Vec<S>
+where
+    T: Send,
+    R: Send,
+    S: Send,
+    F: Fn(T) -> R + Sync,
+    G: Fn(&mut dyn Iterator<Item = R>) -> S + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = workers().min(n);
+    if threads == 1 {
+        return vec![finish(&mut items.into_iter().map(f))];
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let finish = &finish;
+    let mut out: Vec<S> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || finish(&mut c.into_iter().map(f))))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("shim rayon worker panicked"));
+        }
+    });
+    out
+}
+
+/// Fold an arithmetic index space across workers (see [`fold_items`]).
+/// Chunk boundaries are computed, not collected.
+fn fold_gen<T, R, F, S, G>(
+    len: usize,
+    make: &(dyn Fn(usize) -> T + Send + Sync),
+    f: &F,
+    finish: G,
+) -> Vec<S>
+where
+    T: Send,
+    R: Send,
+    S: Send,
+    F: Fn(T) -> R + Sync,
+    G: Fn(&mut dyn Iterator<Item = R>) -> S + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = workers().min(len);
+    if threads == 1 {
+        return vec![finish(&mut (0..len).map(|i| f(make(i))))];
+    }
+    let chunk = len.div_ceil(threads);
+    let bounds: Vec<(usize, usize)> = (0..threads)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    let finish = &finish;
+    let mut out: Vec<S> = Vec::with_capacity(bounds.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|(lo, hi)| scope.spawn(move || finish(&mut (lo..hi).map(|i| f(make(i))))))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("shim rayon worker panicked"));
+        }
+    });
+    out
+}
+
+/// Map an owned buffer across workers, block per worker, preserving order.
+fn run_items<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = workers().min(n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("shim rayon worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Map an arithmetic index space across workers. Chunk boundaries are
+/// computed, not collected: worker `w` owns indices `[w·⌈n/t⌉, …)`.
+fn run_gen<T, R, F>(len: usize, make: &(dyn Fn(usize) -> T + Send + Sync), f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = workers().min(len);
+    if threads == 1 {
+        return (0..len).map(|i| f(make(i))).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let bounds: Vec<(usize, usize)> = (0..threads)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(bounds.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|(lo, hi)| {
+                scope.spawn(move || (lo..hi).map(|i| f(make(i))).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("shim rayon worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
 }
 
 /// The glob-import surface (mirrors `rayon::prelude`).
@@ -171,5 +382,39 @@ mod tests {
     fn empty_input_is_fine() {
         let s: u64 = (0u64..0).into_par_iter().map(|x| x).sum();
         assert_eq!(s, 0);
+        let v: Vec<u64> = (5u64..5).into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0usize..10_000).into_par_iter().map(|x| x * 2).collect();
+        let seq: Vec<usize> = (0usize..10_000).map(|x| x * 2).collect();
+        assert_eq!(v, seq);
+        let owned: Vec<i32> = vec![3, 1, 4, 1, 5]
+            .into_par_iter()
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(owned, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn huge_range_is_not_materialized() {
+        // Pre-fix, `into_par_iter()` eagerly collected the range into a
+        // Vec — for this range that is 2^40 elements (8 TiB), an
+        // immediate OOM. The arithmetic split makes construction O(1).
+        let it = (0u64..1 << 40).into_par_iter();
+        drop(it);
+        // And a large-but-consumable range folds without materializing
+        // (sum of worker partials only).
+        let n: u64 = 1 << 22;
+        let s: u64 = (0u64..n).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn inclusive_range_endpoints() {
+        let v: Vec<u32> = (7u32..=9).into_par_iter().map(|x| x).collect();
+        assert_eq!(v, vec![7, 8, 9]);
     }
 }

@@ -113,6 +113,23 @@ impl Shape {
         }
     }
 
+    /// Advance `coords` in place to the next coordinate vector in
+    /// row-major order (last axis fastest). Returns `false` — wrapping
+    /// back to all zeros — after the last coordinate. The allocation-free
+    /// companion to [`Shape::iter_coords`] for hot sweeps.
+    #[inline]
+    pub fn advance_coords(&self, coords: &mut [usize]) -> bool {
+        debug_assert_eq!(coords.len(), self.rank());
+        for a in (0..self.rank()).rev() {
+            coords[a] += 1;
+            if coords[a] < self.0[a] {
+                return true;
+            }
+            coords[a] = 0;
+        }
+        false
+    }
+
     /// Iterate over all coordinate vectors in row-major order.
     pub fn iter_coords(&self) -> CoordIter<'_> {
         CoordIter {
@@ -244,6 +261,18 @@ mod tests {
         assert_eq!(s.index(&[0, 1]), 1);
         assert_eq!(s.index(&[0, 2]), 2);
         assert_eq!(s.index(&[1, 0]), 3);
+    }
+
+    #[test]
+    fn advance_coords_walks_row_major() {
+        let s = Shape::new(&[2, 1, 3]);
+        let mut c = vec![0usize; 3];
+        for i in 0..s.nodes() {
+            assert_eq!(s.index(&c), i);
+            let more = s.advance_coords(&mut c);
+            assert_eq!(more, i + 1 < s.nodes());
+        }
+        assert_eq!(c, vec![0, 0, 0], "wraps back to the origin");
     }
 
     #[test]

@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn torus_edge_count_and_injectivity() {
         let e = build_half(&[5, 6]);
-        assert_eq!(e.guest_edges().len(), Shape::new(&[5, 6]).torus_edges());
+        assert_eq!(e.edge_count(), Shape::new(&[5, 6]).torus_edges());
         e.verify().unwrap();
     }
 }

@@ -20,4 +20,13 @@ cargo run --release -q -p cubemesh-audit -- lint
 echo "== audit: plan-certificate self-check (32^3 sweep) =="
 cargo run --release -q -p cubemesh-audit -- selfcheck --stats
 
+echo "== bench: quick smoke (JSON emits, parallel == sequential metrics) =="
+# The bench bin exits non-zero if the parallel and sequential engines
+# disagree on any shape. Full ladder stays out of tier-1; --quick runs
+# the small shapes only.
+cargo run --release -q -p cubemesh-bench --bin cubemesh-bench -- \
+    --quick --json --out /tmp/cubemesh_bench_smoke.json >/dev/null
+test -s /tmp/cubemesh_bench_smoke.json
+rm -f /tmp/cubemesh_bench_smoke.json
+
 echo "All checks passed."

@@ -107,7 +107,7 @@ fn embed(args: &[String]) -> ExitCode {
         // embedding.
         let _ = cubemesh::embedding::router::route_all(
             emb.map(),
-            emb.guest_edges(),
+            &emb.edges_vec(),
             emb.host(),
             RouteStrategy::default(),
         );

@@ -10,7 +10,7 @@ fn naive_metrics(emb: &cubemesh::embedding::Embedding) -> (u32, f64, u32, f64) {
     let mut dilation = 0u32;
     let mut total = 0u64;
     let mut cong: HashMap<(u64, u64), u32> = HashMap::new();
-    for i in 0..emb.guest_edges().len() {
+    for i in 0..emb.edge_count() {
         let r = emb.routes().route(i);
         dilation = dilation.max(r.len() as u32 - 1);
         total += r.len() as u64 - 1;
@@ -22,10 +22,10 @@ fn naive_metrics(emb: &cubemesh::embedding::Embedding) -> (u32, f64, u32, f64) {
     let host_edges = emb.host().edge_count();
     (
         dilation,
-        if emb.guest_edges().is_empty() {
+        if emb.edge_count() == 0 {
             0.0
         } else {
-            total as f64 / emb.guest_edges().len() as f64
+            total as f64 / emb.edge_count() as f64
         },
         cong.values().copied().max().unwrap_or(0),
         if host_edges == 0 {

@@ -72,7 +72,7 @@ fn corollary3_sweep() {
 fn torus_edges_exceed_mesh_edges() {
     let shape = Shape::new(&[6, 10]);
     let out = embed_torus(&shape).expect("6x10");
-    assert_eq!(out.embedding.guest_edges().len(), shape.torus_edges());
+    assert_eq!(out.embedding.edge_count(), shape.torus_edges());
     assert!(shape.torus_edges() > shape.mesh_edges());
 }
 
