@@ -3,21 +3,33 @@
 //! ```text
 //! cubemesh-audit lint [--root DIR] [--allowlist FILE]
 //!     Run the workspace lints; print violations; exit 1 on any.
-//! cubemesh-audit certify L1 [L2 L3 ...]
-//!     Plan one shape and print its static certificate.
-//! cubemesh-audit selfcheck [--max-axis N] [--construct-cap N]
-//!     Certify every planner output for all canonical meshes within
-//!     N^3 (default 32) and cross-check constructed embeddings up to
-//!     the node cap (default 32768) against their certificates.
+//! cubemesh-audit certify [--json] [--sweep N] [L1 [L2 L3]]
+//!     Certify shapes and report certificate vs proven floor per
+//!     figure of merit. With explicit extents, one shape; with
+//!     --sweep N, every canonical a <= b <= c <= N. Each record
+//!     carries the mesh, torus and fold-cube certificates, the floors,
+//!     the certified-minus-floor gaps and a plan fingerprint; --json
+//!     emits the records as a JSON array (the check.sh artifact).
+//! cubemesh-audit selfcheck [--max-axis N] [--construct-cap N] [--quick]
+//!     Certify every planner output — mesh, torus, fold and
+//!     contraction — for all canonical shapes within N^3 (default 32)
+//!     and cross-check constructed embeddings up to the node cap
+//!     (default 32768) against their certificates. --quick shrinks to
+//!     an 8^3 smoke pass.
 //! ```
 //!
 //! Every subcommand accepts `--stats` to print an instrumentation
 //! snapshot after the run (`CUBEMESH_STATS=text|json` does the same).
 
-use cubemesh_audit::{lint_workspace, sweep, Allowlist};
+use cubemesh_audit::{
+    certify_fold, certify_torus, lint_workspace, manytoone_floors, mesh_floors, sweep,
+    sweep_contract, sweep_fold, sweep_torus, torus_floors, Allowlist, Certificate, CrosscheckError,
+    Floors,
+};
 use cubemesh_core::Planner;
+use cubemesh_manytoone::plan_corollary5;
 use cubemesh_obs as obs;
-use cubemesh_topology::Shape;
+use cubemesh_topology::{cube_dim, Shape};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -86,51 +98,216 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_certify(args: &[String]) -> ExitCode {
-    let dims: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    if dims.is_empty() {
-        eprintln!("usage: cubemesh-audit certify L1 [L2 L3 ...]");
-        return ExitCode::from(2);
+/// FNV-1a over a plan's rendering — a stable fingerprint that changes
+/// whenever the planner picks a different decomposition.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    let shape = Shape::new(&dims);
-    match Planner::new().plan(&shape) {
-        None => {
-            println!("{shape}: no plan (open case)");
-            ExitCode::FAILURE
+    h
+}
+
+/// One certify record: a certificate (or `None` for an open case), the
+/// proven floors, and a fingerprint of the underlying plan.
+struct Record {
+    kind: &'static str,
+    shape: Shape,
+    cert: Option<Certificate>,
+    floors: Floors,
+    fingerprint: u64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let dims: Vec<String> = self.shape.dims().iter().map(|d| d.to_string()).collect();
+        let cert = match &self.cert {
+            None => "null".to_owned(),
+            Some(c) => format!(
+                "{{\"host_dim\":{},\"dilation\":{},\"congestion\":{},\"load\":{},\"minimal\":{}}}",
+                c.host_dim, c.dilation_bound, c.congestion_bound, c.load_factor, c.minimal
+            ),
+        };
+        let floors = format!(
+            "{{\"dilation\":{},\"congestion\":{},\"load\":{}}}",
+            self.floors.dilation, self.floors.congestion, self.floors.load
+        );
+        let gap = match &self.cert {
+            None => "null".to_owned(),
+            Some(c) => format!(
+                "{{\"dilation\":{},\"congestion\":{},\"load\":{}}}",
+                c.dilation_bound.saturating_sub(self.floors.dilation),
+                c.congestion_bound.saturating_sub(self.floors.congestion),
+                c.load_factor.saturating_sub(self.floors.load)
+            ),
+        };
+        format!(
+            "{{\"kind\":\"{}\",\"shape\":[{}],\"certificate\":{},\"floor\":{},\"gap\":{},\
+             \"fingerprint\":\"{:016x}\"}}",
+            self.kind,
+            dims.join(","),
+            cert,
+            floors,
+            gap,
+            self.fingerprint
+        )
+    }
+
+    fn print_text(&self) {
+        match &self.cert {
+            None => println!("{} {}: no plan (open case)", self.shape, self.kind),
+            Some(c) => {
+                let gap_d = c.dilation_bound.saturating_sub(self.floors.dilation);
+                let gap_c = c.congestion_bound.saturating_sub(self.floors.congestion);
+                println!(
+                    "{} {}: {} | floor d >= {}, c >= {}, load >= {} | gap d +{gap_d}, c +{gap_c} \
+                     | plan {:016x}",
+                    self.shape,
+                    self.kind,
+                    c,
+                    self.floors.dilation,
+                    self.floors.congestion,
+                    self.floors.load,
+                    self.fingerprint
+                );
+            }
         }
-        Some(plan) => match cubemesh_audit::check_plan(&shape, &plan) {
-            Ok(cert) => {
-                println!("{shape}: plan {plan}");
-                println!("{shape}: certificate {cert}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("{shape}: certification FAILED: {e}");
-                ExitCode::FAILURE
-            }
-        },
     }
 }
 
-fn cmd_selfcheck(args: &[String]) -> ExitCode {
-    let max_axis: usize = flag_value(args, "--max-axis")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(32);
-    let cap: usize = flag_value(args, "--construct-cap")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(32768);
-    match sweep(max_axis, cap) {
-        Ok(report) => {
-            println!(
-                "audit selfcheck: {} shapes <= {max_axis}^3: {} certified, \
-                 {} constructed+measured, {} open",
-                report.shapes, report.certified, report.constructed, report.unplanned
-            );
-            ExitCode::SUCCESS
+/// Certify one shape through every covered decomposition family: the
+/// one-to-one mesh planner, the torus driver's combination space, and
+/// the Corollary 5 fold into one dimension below the minimal cube.
+fn certify_records(planner: &mut Planner, shape: &Shape) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    let host = cube_dim(shape.nodes() as u64);
+
+    let (cert, fp) = match planner.plan(shape) {
+        None => (None, 0),
+        Some(plan) => {
+            let cert = cubemesh_audit::check_plan(shape, &plan)
+                .map_err(|e| format!("{shape} mesh: {e}"))?;
+            (Some(cert), fnv1a(&plan.to_string()))
         }
-        Err(e) => {
-            eprintln!("audit selfcheck FAILED: {e}");
-            ExitCode::FAILURE
+    };
+    out.push(Record {
+        kind: "mesh",
+        shape: shape.clone(),
+        floors: mesh_floors(shape, host),
+        cert,
+        fingerprint: fp,
+    });
+
+    let cert = certify_torus(shape, planner).map_err(|e| format!("{shape} torus: {e}"))?;
+    out.push(Record {
+        kind: "torus",
+        shape: shape.clone(),
+        floors: torus_floors(shape, host),
+        fingerprint: cert.as_ref().map(|c| fnv1a(&c.to_string())).unwrap_or(0),
+        cert,
+    });
+
+    if let Some(n) = host.checked_sub(1).filter(|&n| n >= 1) {
+        let (cert, fp) = match plan_corollary5(shape, n) {
+            None => (None, 0),
+            Some(plan) => {
+                let cert = certify_fold(shape, &plan).map_err(|e| format!("{shape} fold: {e}"))?;
+                (Some(cert), fnv1a(&format!("{plan:?}")))
+            }
+        };
+        out.push(Record {
+            kind: "fold",
+            shape: shape.clone(),
+            floors: manytoone_floors(shape, n),
+            cert,
+            fingerprint: fp,
+        });
+    }
+    Ok(out)
+}
+
+fn cmd_certify(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let sweep_axis: Option<usize> = flag_value(args, "--sweep").and_then(|v| v.parse().ok());
+    let dims: Vec<usize> = args
+        .iter()
+        .skip_while(|a| a.starts_with("--"))
+        .filter_map(|a| a.parse().ok())
+        .collect();
+
+    let mut shapes = Vec::new();
+    if let Some(max) = sweep_axis {
+        for a in 1..=max {
+            for b in a..=max {
+                for c in b..=max {
+                    shapes.push(Shape::new(&[a, b, c]));
+                }
+            }
+        }
+    } else if !dims.is_empty() {
+        shapes.push(Shape::new(&dims));
+    } else {
+        eprintln!("usage: cubemesh-audit certify [--json] [--sweep N] [L1 [L2 L3]]");
+        return ExitCode::from(2);
+    }
+
+    let mut planner = Planner::new();
+    let mut records = Vec::new();
+    for shape in &shapes {
+        match certify_records(&mut planner, shape) {
+            Ok(rs) => records.extend(rs),
+            Err(e) => {
+                eprintln!("certification FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    if json {
+        let body: Vec<String> = records.iter().map(Record::to_json).collect();
+        println!("[{}]", body.join(",\n "));
+    } else {
+        for r in &records {
+            r.print_text();
+        }
+    }
+    // A single explicit open-case shape is a failure (the caller asked
+    // for a certificate); sweeps legitimately contain open cases.
+    if sweep_axis.is_none() && records.iter().all(|r| r.cert.is_none()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_selfcheck(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "--quick");
+    let max_axis: usize = flag_value(args, "--max-axis")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 8 } else { 32 });
+    let cap: usize = flag_value(args, "--construct-cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 512 } else { 32768 });
+    let contract_axis = max_axis.min(6);
+
+    type SweepFn = fn(usize, usize) -> Result<cubemesh_audit::SweepReport, CrosscheckError>;
+    let passes: [(&str, SweepFn, usize, usize); 4] = [
+        ("mesh", sweep, max_axis, cap),
+        ("torus", sweep_torus, max_axis, cap),
+        ("fold", sweep_fold, max_axis, cap),
+        ("contract", sweep_contract, contract_axis, cap.min(4096)),
+    ];
+    for (name, run, axis, cap) in passes {
+        match run(axis, cap) {
+            Ok(report) => println!(
+                "audit selfcheck [{name}]: {} cases <= {axis}^3: {} certified, \
+                 {} constructed+measured, {} open",
+                report.shapes, report.certified, report.constructed, report.unplanned
+            ),
+            Err(e) => {
+                eprintln!("audit selfcheck [{name}] FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -40,10 +40,17 @@ pub struct Certificate {
     /// subgraph slack), so Theorem 3's `ε = ε₁ε₂` law is an equality
     /// exactly when the shape fills its factor product.
     pub expansion: f64,
-    /// `true` when `host_dim = ⌈log₂ Πℓᵢ⌉` — minimal expansion.
+    /// `true` when `host_dim = ⌈log₂ Πℓᵢ⌉` — minimal expansion. For
+    /// many-to-one certificates (`load_factor > 1`) this instead means
+    /// the load equals the information-theoretic optimum `⌈|V|/2ⁿ⌉`.
     pub minimal: bool,
     /// Leaves (Gray/Direct pieces) in the certified tree.
     pub leaves: usize,
+    /// Worst-case load-factor (Definition 5): the most guest nodes any
+    /// one processor carries. Always `1` for one-to-one plans; Lemma 5
+    /// contractions multiply it by `Πℓ′ᵢ` and cube folds double it per
+    /// dropped dimension.
+    pub load_factor: u64,
 }
 
 /// Why a plan fails static certification. Each variant names the plan-tree
@@ -107,6 +114,62 @@ pub enum AuditError {
         /// Host dimension the plan reports for the same shape.
         reported: u32,
     },
+    /// A torus combination's arithmetic does not hold: the rule vector
+    /// has the wrong rank, names a rule other than halving/quartering,
+    /// or its inner mesh does not land the minimal cube.
+    TorusComboInfeasible {
+        /// The wraparound shape.
+        shape: Shape,
+        /// What broke.
+        reason: String,
+    },
+    /// A Corollary 5 cover's per-axis vectors do not match the guest
+    /// rank.
+    FoldRankMismatch {
+        /// The guest shape.
+        shape: Shape,
+        /// Length of the cover's `ns` vector.
+        ns: usize,
+        /// Length of the cover's `ℓ′` vector.
+        lprime: usize,
+    },
+    /// A Corollary 5 cover misses part of an axis:
+    /// `ℓ′ᵢ · 2^{nᵢ} < ℓᵢ`.
+    FoldCoverTooSmall {
+        /// The guest shape.
+        shape: Shape,
+        /// The uncovered axis.
+        axis: usize,
+    },
+    /// A Corollary 5 cover has fewer base cube bits than the fold target:
+    /// `Σnᵢ < n`, so there is nothing to fold down from.
+    FoldBitsTooFew {
+        /// The guest shape.
+        shape: Shape,
+        /// `Σnᵢ` of the cover.
+        total: u32,
+        /// The target host dimension `n`.
+        needed: u32,
+    },
+    /// A Corollary 5 cover violates the expansion-preservation condition
+    /// `⌈Πℓ′ᵢ2^{nᵢ}⌉₂ = ⌈Πℓᵢ⌉₂` (the cover overshoots a power of two).
+    FoldExpansionMismatch {
+        /// The guest shape.
+        shape: Shape,
+        /// The cover's node count `Πℓ′ᵢ2^{nᵢ}`.
+        covered: u64,
+    },
+    /// The certificate claims a load-factor below the information-
+    /// theoretic floor `⌈|V|/2ⁿ⌉` — arithmetically impossible, so the
+    /// certifier itself (or the plan fed to it) is corrupted.
+    LoadBelowFloor {
+        /// The guest shape.
+        shape: Shape,
+        /// The impossible claimed load-factor.
+        claimed: u64,
+        /// The pigeonhole floor.
+        floor: u64,
+    },
 }
 
 impl fmt::Display for AuditError {
@@ -153,6 +216,38 @@ impl fmt::Display for AuditError {
             } => write!(
                 f,
                 "{shape}: certificate derives host Q_{derived} but the plan reports Q_{reported}"
+            ),
+            AuditError::TorusComboInfeasible { shape, reason } => {
+                write!(f, "torus combo for {shape} is infeasible: {reason}")
+            }
+            AuditError::FoldRankMismatch { shape, ns, lprime } => write!(
+                f,
+                "Corollary 5 cover for {shape}: rank-{} ns / rank-{lprime} ℓ' vs the guest",
+                ns
+            ),
+            AuditError::FoldCoverTooSmall { shape, axis } => write!(
+                f,
+                "Corollary 5 cover for {shape}: axis {axis} is not covered (ℓ'·2^n < ℓ)"
+            ),
+            AuditError::FoldBitsTooFew {
+                shape,
+                total,
+                needed,
+            } => write!(
+                f,
+                "Corollary 5 cover for {shape}: Σnᵢ = {total} < fold target {needed}"
+            ),
+            AuditError::FoldExpansionMismatch { shape, covered } => write!(
+                f,
+                "Corollary 5 cover for {shape} overshoots a power of two ({covered} covered nodes)"
+            ),
+            AuditError::LoadBelowFloor {
+                shape,
+                claimed,
+                floor,
+            } => write!(
+                f,
+                "{shape}: claimed load-factor {claimed} beats the pigeonhole floor {floor}"
             ),
         }
     }
@@ -240,6 +335,7 @@ fn certify_reduced(shape: &Shape, plan: &Plan) -> Result<Certificate, AuditError
                 expansion: expansion_of(c1.host_dim + c2.host_dim, shape.nodes()),
                 minimal: c1.host_dim + c2.host_dim == shape.minimal_cube_dim(),
                 leaves: c1.leaves + c2.leaves,
+                load_factor: 1,
             }
         }
     };
@@ -275,11 +371,12 @@ fn leaf(host_dim: u32, bound: u32, shape: &Shape) -> Certificate {
         expansion: expansion_of(host_dim, shape.nodes()),
         minimal: host_dim == shape.minimal_cube_dim(),
         leaves: 1,
+        load_factor: 1,
     }
 }
 
-fn expansion_of(host_dim: u32, nodes: usize) -> f64 {
-    2f64.powi(host_dim as i32) / nodes as f64
+pub(crate) fn expansion_of(host_dim: u32, nodes: usize) -> f64 {
+    (host_dim as f64).exp2() / nodes as f64
 }
 
 impl fmt::Display for Certificate {
@@ -293,7 +390,11 @@ impl fmt::Display for Certificate {
             self.expansion,
             if self.minimal { " (minimal)" } else { "" },
             self.leaves
-        )
+        )?;
+        if self.load_factor > 1 {
+            write!(f, " | load <= {}", self.load_factor)?;
+        }
+        Ok(())
     }
 }
 

@@ -4,22 +4,36 @@
 //! Two prongs, both runnable through the `cubemesh-audit` binary and wired
 //! into the repo gate (`scripts/check.sh`):
 //!
-//! * [`certificate`] — derive a `(dilation, congestion, expansion)`
+//! * [`certificate`] — derive a `(dilation, congestion, load, expansion)`
 //!   [`Certificate`] for any [`cubemesh_core::Plan`] tree *without
 //!   constructing the embedding*, checking every theorem precondition
 //!   (Corollary 2 factor compatibility, minimal-cube arithmetic, catalog
-//!   applicability) and known lower-bound floors along the way;
-//!   [`crosscheck`] then builds real embeddings and asserts the measured
-//!   metrics never exceed the static claims.
+//!   applicability) along the way; [`torus`] and [`manytoone`] extend the
+//!   same certificate shape to wraparound plans (Lemmas 1–4, Corollary 3)
+//!   and many-to-one plans (Theorem 4, Lemma 5, Corollary 5); [`bounds`]
+//!   supplies the provable per-shape floors so `certified − floor` is a
+//!   rigorous optimality gap; [`crosscheck`] then builds real embeddings
+//!   and asserts measured ≤ certificate and certificate ≥ floor.
 //! * [`lint`] — source-level rules over the workspace's own library code:
 //!   no `unwrap`/`expect`/`panic!` outside tests (explicit, shrinking
-//!   allowlist; allowlisted functions must carry `# Panics` docs) and no
-//!   narrowing casts on 64-bit cube addresses.
+//!   allowlist; allowlisted functions must carry `# Panics` docs), no
+//!   narrowing casts on 64-bit cube addresses, no narrowing casts of
+//!   shape-extent products, no allocation inside chunk/shard loops, and
+//!   no shared mutable state in worker-spawning functions.
 
+pub mod bounds;
 pub mod certificate;
 pub mod crosscheck;
 pub mod lint;
+pub mod manytoone;
+pub mod torus;
 
+pub use bounds::{manytoone_floors, mesh_floors, torus_floors, Floors};
 pub use certificate::{certify, check_plan, dilation_floor, AuditError, Certificate};
-pub use crosscheck::{crosscheck_shape, sweep, CrosscheckError, SweepReport};
+pub use crosscheck::{
+    crosscheck_contract_shape, crosscheck_fold_shape, crosscheck_shape, crosscheck_torus_shape,
+    sweep, sweep_contract, sweep_fold, sweep_torus, CrosscheckError, SweepReport,
+};
 pub use lint::{lint_source, lint_workspace, Allowlist, Rule, Violation};
+pub use manytoone::{certify_contract, certify_fold};
+pub use torus::{certify_torus, certify_torus_combo};

@@ -1,6 +1,6 @@
 //! Source-level lints over the workspace's own library code.
 //!
-//! Three rules, all enforced by `cubemesh-audit lint` in the repo gate:
+//! Rules, all enforced by `cubemesh-audit lint` in the repo gate:
 //!
 //! * **panic-in-lib** — `.unwrap()`, `.expect(…)`, `panic!`,
 //!   `unreachable!`, `todo!` and `unimplemented!` are forbidden in
@@ -14,6 +14,22 @@
 //!   identifier (name contains `addr`) to a type narrower than the
 //!   64-bit cube address space (`u8/u16/u32/i8/i16/i32`) silently drops
 //!   high bits for hosts above `Q_32`; compute in `u64` instead.
+//! * **shape-product-overflow** — a narrowing `as` cast of a
+//!   shape-extent value (identifier mentioning `dim`/`len`/`extent`/
+//!   `stride`/`nodes`/`shape`/`factor`, or a parenthesized product of
+//!   one) can truncate: extent *products* grow multiplicatively
+//!   (a 2¹¹×2¹¹×2¹¹ guest already overflows `u32` node counts). Widen
+//!   first, narrow never.
+//! * **alloc-in-chunk-loop** — `Vec::new()` / `vec![…]` inside a loop
+//!   whose header mentions `chunk` or `shard` allocates once per chunk
+//!   on the hot parallel-lowering path; hoist the buffer out and
+//!   `clear()` it.
+//! * **shared-mut-in-worker** — `static mut` anywhere, or
+//!   `RefCell::new(…)` / `Cell::new(…)` inside a function that also
+//!   spawns workers (`spawn(`, `par_iter`, `…::scope(`): non-`Sync`
+//!   interior mutability next to fan-out is either a data race waiting
+//!   for a real-threads build or a refactoring trap. Use per-worker
+//!   state plus a reduction instead.
 //!
 //! The scanner is deliberately lexical, not syntactic: comments, string
 //! literals and char literals are blanked first (so `write!(f, "…expected
@@ -39,6 +55,13 @@ pub enum Rule {
     MissingPanicsDoc,
     /// Allowlist entry matched nothing.
     UnusedAllow,
+    /// Narrowing cast of a shape-extent value or extent product.
+    ShapeProductOverflow,
+    /// Allocation inside a chunk/shard loop body.
+    AllocInChunkLoop,
+    /// Non-`Sync` interior mutability in a worker-spawning function, or
+    /// `static mut` anywhere.
+    SharedMutInWorker,
 }
 
 impl fmt::Display for Rule {
@@ -48,6 +71,9 @@ impl fmt::Display for Rule {
             Rule::NarrowingAddrCast => "narrowing-addr-cast",
             Rule::MissingPanicsDoc => "missing-panics-doc",
             Rule::UnusedAllow => "unused-allow",
+            Rule::ShapeProductOverflow => "shape-product-overflow",
+            Rule::AllocInChunkLoop => "alloc-in-chunk-loop",
+            Rule::SharedMutInWorker => "shared-mut-in-worker",
         };
         write!(f, "{name}")
     }
@@ -464,6 +490,13 @@ const PANIC_PATTERNS: [&str; 6] = [
 
 const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// Identifier fragments that mark a value as a shape extent (or a
+/// product of extents) for **shape-product-overflow**.
+const EXTENT_KEYWORDS: [&str; 7] = ["dim", "len", "extent", "stride", "nodes", "shape", "factor"];
+
+/// Worker fan-out markers for **shared-mut-in-worker**.
+const WORKER_APIS: [&str; 3] = ["spawn(", "par_iter", "::scope("];
+
 /// Does the doc block immediately above `decl_line` (1-based, in the
 /// original text) contain a `# Panics` section?
 fn has_panics_doc(original_lines: &[&str], decl_line: usize) -> bool {
@@ -551,6 +584,10 @@ pub fn lint_source(label: &str, text: &str, allow: &mut Allowlist) -> Vec<Violat
             if !NARROW_TYPES.contains(&ty.as_str()) {
                 continue;
             }
+            let off = line_start + col;
+            if in_tests(off) {
+                continue;
+            }
             // The operand: last identifier before the cast.
             let before = &line[..col];
             let operand: String = before
@@ -561,11 +598,8 @@ pub fn lint_source(label: &str, text: &str, allow: &mut Allowlist) -> Vec<Violat
                 .into_iter()
                 .rev()
                 .collect();
-            if operand.to_ascii_lowercase().contains("addr") {
-                let off = line_start + col;
-                if in_tests(off) {
-                    continue;
-                }
+            let operand_low = operand.to_ascii_lowercase();
+            if operand_low.contains("addr") {
                 out.push(Violation {
                     file: label.to_owned(),
                     line: lineno,
@@ -575,10 +609,203 @@ pub fn lint_source(label: &str, text: &str, allow: &mut Allowlist) -> Vec<Violat
                          keep address arithmetic in u64"
                     ),
                 });
+            } else if EXTENT_KEYWORDS.iter().any(|k| operand_low.contains(k)) {
+                out.push(Violation {
+                    file: label.to_owned(),
+                    line: lineno,
+                    rule: Rule::ShapeProductOverflow,
+                    message: format!(
+                        "`{operand} as {ty}` narrows a shape extent; extent products \
+                         overflow narrow integers — widen first, narrow never"
+                    ),
+                });
+            } else if let Some(expr) = trailing_paren_expr(before) {
+                let low = expr.to_ascii_lowercase();
+                if expr.contains('*') && EXTENT_KEYWORDS.iter().any(|k| low.contains(k)) {
+                    out.push(Violation {
+                        file: label.to_owned(),
+                        line: lineno,
+                        rule: Rule::ShapeProductOverflow,
+                        message: format!(
+                            "`{expr} as {ty}` narrows a product of shape extents; \
+                             compute in u64/usize and keep it wide"
+                        ),
+                    });
+                }
+            }
+        }
+        for (col, _) in line.match_indices("static mut") {
+            let off = line_start + col;
+            if in_tests(off) {
+                continue;
+            }
+            out.push(Violation {
+                file: label.to_owned(),
+                line: lineno,
+                rule: Rule::SharedMutInWorker,
+                message: "`static mut` is an unconditional data race under real threads; \
+                          use an atomic, a lock, or per-worker state"
+                    .to_owned(),
+            });
+        }
+    }
+    let line_of = |off: usize| offsets.partition_point(|&o| o <= off);
+    scan_chunk_loop_allocs(label, &clean, &in_tests, &line_of, &mut out);
+    scan_worker_cells(label, &clean, &fns, &in_tests, &line_of, &mut out);
+    out.sort_by_key(|a| (a.line, a.rule as usize));
+    out
+}
+
+/// If `before` ends with a parenthesized expression, return that
+/// expression (including parens); `None` otherwise.
+fn trailing_paren_expr(before: &str) -> Option<&str> {
+    let bt = before.trim_end();
+    if !bt.ends_with(')') {
+        return None;
+    }
+    let b = bt.as_bytes();
+    let mut depth = 0i32;
+    for i in (0..b.len()).rev() {
+        match b[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&bt[i..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// **alloc-in-chunk-loop**: find `for`/`while` loops whose header (the
+/// text between the keyword and the body's opening brace) mentions
+/// `chunk` or `shard`, then flag every `Vec::new()` / `vec![` in the
+/// loop body.
+fn scan_chunk_loop_allocs(
+    label: &str,
+    clean: &str,
+    in_tests: &dyn Fn(usize) -> bool,
+    line_of: &dyn Fn(usize) -> usize,
+    out: &mut Vec<Violation>,
+) {
+    let b = clean.as_bytes();
+    let n = b.len();
+    for kw in ["for", "while"] {
+        for (kw_off, _) in clean.match_indices(kw) {
+            let bounded = (kw_off == 0 || !is_ident_byte(b[kw_off - 1]))
+                && kw_off + kw.len() < n
+                && !is_ident_byte(b[kw_off + kw.len()]);
+            if !bounded || in_tests(kw_off) {
+                continue;
+            }
+            // Header runs to the first `{` at bracket depth 0 (a `;` or
+            // a second `{`-less construct like `&Striped {` never occurs
+            // in a loop header at depth 0).
+            let mut j = kw_off + kw.len();
+            let mut paren = 0i32;
+            let mut body_open = None;
+            while j < n {
+                match b[j] {
+                    b'(' | b'[' => paren += 1,
+                    b')' | b']' => paren -= 1,
+                    b'{' if paren == 0 => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    b';' if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = body_open else { continue };
+            let header = clean[kw_off..open].to_ascii_lowercase();
+            if !header.contains("chunk") && !header.contains("shard") {
+                continue;
+            }
+            // Matching close brace.
+            let mut depth = 0usize;
+            let mut close = n;
+            for (k, &c) in b.iter().enumerate().take(n).skip(open) {
+                match c {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = k;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let body = &clean[open..close];
+            for pat in ["Vec::new()", "vec!["] {
+                for (col, _) in body.match_indices(pat) {
+                    let off = open + col;
+                    if in_tests(off) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        file: label.to_owned(),
+                        line: line_of(off),
+                        rule: Rule::AllocInChunkLoop,
+                        message: format!(
+                            "`{pat}` allocates on every iteration of a chunk/shard loop; \
+                             hoist the buffer out and `clear()` it"
+                        ),
+                    });
+                }
             }
         }
     }
-    out
+}
+
+/// **shared-mut-in-worker**: flag `RefCell::new(` / `Cell::new(` inside
+/// any function body that also mentions a worker fan-out API.
+fn scan_worker_cells(
+    label: &str,
+    clean: &str,
+    fns: &[FnSpan],
+    in_tests: &dyn Fn(usize) -> bool,
+    line_of: &dyn Fn(usize) -> usize,
+    out: &mut Vec<Violation>,
+) {
+    let b = clean.as_bytes();
+    for f in fns {
+        if in_tests(f.body.start) {
+            continue;
+        }
+        let body = &clean[f.body.clone()];
+        if !WORKER_APIS.iter().any(|api| body.contains(api)) {
+            continue;
+        }
+        for pat in ["RefCell::new(", "Cell::new("] {
+            for (col, _) in body.match_indices(pat) {
+                let off = f.body.start + col;
+                // `Cell::new(` is a suffix of `RefCell::new(`; require a
+                // non-identifier boundary so each site fires exactly once.
+                if off > 0 && is_ident_byte(b[off - 1]) {
+                    continue;
+                }
+                if in_tests(off) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: label.to_owned(),
+                    line: line_of(off),
+                    rule: Rule::SharedMutInWorker,
+                    message: format!(
+                        "`{}…)` in worker-spawning fn `{}` is not Sync; keep per-worker \
+                         state and reduce afterwards",
+                        pat, f.name
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Should this path be linted? Library sources only: `**/src/**.rs`,
@@ -732,6 +959,56 @@ mod tests {
     fn raw_strings_and_chars_are_blanked() {
         let src = "pub fn f() -> (char, &'static str) {\n    ('{', r#\"panic!(\"no\")\"#)\n}\n";
         assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn shape_product_overflow_is_flagged() {
+        // Bare extent identifier narrowed.
+        let v = lint_str("pub fn f(stride: usize) -> u32 {\n    stride as u32\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ShapeProductOverflow);
+        // Parenthesized product of extents narrowed.
+        let v = lint_str("pub fn g(a: usize, f: usize) -> u16 {\n    (a * dim_len(f)) as u16\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ShapeProductOverflow);
+        // Widening casts and non-extent operands stay legal.
+        assert!(lint_str("pub fn h(stride: usize, i: usize) -> u64 {\n    (stride as u64) + foo(i) as u64 + i as u32 as u64\n}\n").is_empty());
+        // A call result without `*` in the parens is not a product.
+        assert!(lint_str("pub fn k(x: usize) -> u32 {\n    ilog(x) as u32\n}\n").is_empty());
+    }
+
+    #[test]
+    fn alloc_in_chunk_loop_is_flagged() {
+        let src = "pub fn lower(chunks: &[u32]) {\n    for chunk in chunks {\n        let mut buf \
+                   = Vec::new();\n        buf.push(*chunk);\n    }\n}\n";
+        let v = lint_str(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AllocInChunkLoop);
+        assert_eq!(v[0].line, 3);
+        // vec! macro counts too; non-chunk loops do not.
+        let v = lint_str(
+            "pub fn s(shards: usize) {\n    while shards > 0 {\n        let _ = vec![0u8; 4];\n    \
+             }\n}\npub fn ok(xs: &[u32]) {\n    for _x in xs {\n        let _ = Vec::<u8>::new();\n    \
+             }\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AllocInChunkLoop);
+    }
+
+    #[test]
+    fn shared_mut_in_worker_is_flagged() {
+        // static mut fires anywhere.
+        let v = lint_str("static mut COUNTER: u64 = 0;\npub fn f() {}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::SharedMutInWorker);
+        // RefCell next to a spawn fires; without a worker API it does not.
+        let src = "pub fn fan_out() {\n    let acc = RefCell::new(0u64);\n    spawn(|| {});\n    \
+                   let _ = acc;\n}\npub fn quiet() {\n    let _ = RefCell::new(1u8);\n}\n";
+        let v = lint_str(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::SharedMutInWorker);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("fan_out"), "{}", v[0].message);
     }
 
     #[test]

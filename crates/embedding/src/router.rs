@@ -214,12 +214,9 @@ fn path_cost_after_insert(path: &[u64], load: &HashMap<usize, u32>, host: Hyperc
         .unwrap_or(0)
 }
 
-/// Pick the candidate shortest path minimizing (max-load-after, sum-load).
-///
-/// # Panics
-/// Panics if there is no candidate path, which cannot happen: the
-/// monotone-route enumeration always yields at least one path between
-/// any two cube nodes (the single-node path when `a == b`).
+/// Pick the candidate shortest path minimizing (max-load-after, sum-load),
+/// falling back to the canonical ascending-bit route if the candidate
+/// enumeration somehow yields nothing.
 fn best_path(a: u64, b: u64, load: &HashMap<usize, u32>, host: Hypercube) -> Vec<u64> {
     let bits: Vec<u32> = cubemesh_topology::hamming::bit_positions(a ^ b).collect();
     if bits.is_empty() {
@@ -244,7 +241,10 @@ fn best_path(a: u64, b: u64, load: &HashMap<usize, u32>, host: Hypercube) -> Vec
             best = Some((worst, total, path));
         }
     }
-    best.expect("at least one candidate").2
+    match best {
+        Some((_, _, path)) => path,
+        None => canonical_path(a, b),
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,8 @@ pub fn contract(base_shape: &Shape, base: &Embedding, factors: &[usize]) -> Embe
                 continue;
             }
             let stride: usize = big.dims()[axis + 1..].iter().product();
-            edges.push((node, node + stride as u32));
+            let next = big.index(&z) + stride;
+            edges.push((node, next as u32));
             for i in 0..k {
                 q[i] = z[i] / factors[i];
             }

@@ -45,14 +45,38 @@ pub fn fold_to_dim(emb: &Embedding, n: u32) -> Embedding {
     )
 }
 
-/// Corollary 5: embed `shape` into an `n`-cube with dilation one and
-/// load-factor optimal within a factor of two, by covering each axis with
-/// `ℓ′ᵢ·2^{nᵢ} ≥ ℓᵢ` such that `⌈Πℓᵢ⌉₂ = ⌈Πℓ′ᵢ2^{nᵢ}⌉₂` and
-/// `Σnᵢ ≥ n`, then Gray + contract + restrict + fold.
+/// A chosen Corollary 5 cover: the static face of [`corollary5`],
+/// enumerable and checkable without constructing anything.
 ///
-/// Returns the embedding with the smallest achieved load-factor, or
-/// `None` when no cover satisfies the corollary's conditions.
-pub fn corollary5(shape: &Shape, n: u32) -> Option<Embedding> {
+/// Axis `i` of the guest is covered by `ℓ′ᵢ · 2^{nᵢ} ≥ ℓᵢ`; the
+/// construction Gray-embeds the `2^{n₁} × ⋯ × 2^{n_k}` base mesh,
+/// contracts each axis by `ℓ′ᵢ` (Lemma 5), restricts to the guest and
+/// folds the `Σnᵢ`-cube down to `n` dimensions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoldPlan {
+    /// Target host cube dimension `n`.
+    pub host_dim: u32,
+    /// Per-axis base cube bits `nᵢ`.
+    pub ns: Vec<u32>,
+    /// Per-axis contraction factors `ℓ′ᵢ = ⌈ℓᵢ/2^{nᵢ}⌉`.
+    pub lprime: Vec<usize>,
+}
+
+impl FoldPlan {
+    /// The load-factor this cover achieves: `Πℓ′ᵢ · 2^{Σnᵢ − n}`
+    /// (Lemma 5 load times the fold doubling).
+    pub fn load_factor(&self) -> u64 {
+        let total_n: u32 = self.ns.iter().sum();
+        self.lprime.iter().map(|&f| f as u64).product::<u64>() << (total_n - self.host_dim)
+    }
+}
+
+/// Corollary 5 cover search: pick per-axis `(nᵢ, ℓ′ᵢ)` minimizing the
+/// load-factor subject to `Σnᵢ ≥ n` and the expansion-preserving
+/// condition `⌈Πℓ′ᵢ2^{nᵢ}⌉₂ = ⌈Πℓᵢ⌉₂`.
+///
+/// Returns `None` when no cover satisfies the corollary's conditions.
+pub fn plan_corollary5(shape: &Shape, n: u32) -> Option<FoldPlan> {
     let k = shape.rank();
     let target = ceil_pow2(shape.nodes() as u64);
 
@@ -86,12 +110,31 @@ pub fn corollary5(shape: &Shape, n: u32) -> Option<Embedding> {
     }
 
     let (_, ns, lprime) = best?;
-    let base_shape = Shape::new(&ns.iter().map(|&ni| 1usize << ni).collect::<Vec<_>>());
+    Some(FoldPlan {
+        host_dim: n,
+        ns,
+        lprime,
+    })
+}
+
+/// Build the embedding a [`FoldPlan`] describes: Gray + contract +
+/// restrict + fold. The plan is assumed well-formed (as produced by
+/// [`plan_corollary5`] or validated by the audit layer).
+pub fn build_corollary5(shape: &Shape, plan: &FoldPlan) -> Embedding {
+    let base_shape = Shape::new(&plan.ns.iter().map(|&ni| 1usize << ni).collect::<Vec<_>>());
     let base = gray_mesh_embedding(&base_shape);
-    let contracted = contract(&base_shape, &base, &lprime);
-    let big_shape = base_shape.product(&Shape::new(&lprime));
+    let contracted = contract(&base_shape, &base, &plan.lprime);
+    let big_shape = base_shape.product(&Shape::new(&plan.lprime));
     let restricted = restrict(&contracted, &big_shape, shape);
-    Some(fold_to_dim(&restricted, n))
+    fold_to_dim(&restricted, plan.host_dim)
+}
+
+/// Corollary 5: embed `shape` into an `n`-cube with dilation one and
+/// load-factor optimal within a factor of two — [`plan_corollary5`]
+/// followed by [`build_corollary5`].
+pub fn corollary5(shape: &Shape, n: u32) -> Option<Embedding> {
+    let plan = plan_corollary5(shape, n)?;
+    Some(build_corollary5(shape, &plan))
 }
 
 #[cfg(test)]

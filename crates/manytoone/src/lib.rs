@@ -25,4 +25,4 @@ pub mod contract;
 pub mod fold_cube;
 
 pub use contract::{contract, optimal_load_factor};
-pub use fold_cube::{corollary5, fold_to_dim};
+pub use fold_cube::{build_corollary5, corollary5, fold_to_dim, plan_corollary5, FoldPlan};

@@ -202,13 +202,12 @@ fn anneal_inner(guest: &Graph, cfg: &AnnealConfig) -> AnnealOutcome {
 }
 
 /// Run annealing with multiple seeds, returning the first success or the
-/// best failure.
-///
-/// # Panics
-/// Panics if `restarts == 0` — there is no outcome to return.
+/// best failure. `restarts == 0` is treated as 1: there is always at
+/// least one outcome to return.
 pub fn anneal_restarts(guest: &Graph, base: &AnnealConfig, restarts: u64) -> AnnealOutcome {
-    let mut best: Option<(u64, Vec<u64>)> = None;
-    for r in 0..restarts {
+    let mut best_energy = u64::MAX;
+    let mut best_map: Vec<u64> = Vec::new();
+    for r in 0..restarts.max(1) {
         if r > 0 {
             obs::counter!("search.anneal.restarts").inc();
         }
@@ -219,14 +218,17 @@ pub fn anneal_restarts(guest: &Graph, base: &AnnealConfig, restarts: u64) -> Ann
         match anneal(guest, &cfg) {
             AnnealOutcome::Found(map) => return AnnealOutcome::Found(map),
             AnnealOutcome::Best { map, energy } => {
-                if best.as_ref().map(|(e, _)| energy < *e).unwrap_or(true) {
-                    best = Some((energy, map));
+                if energy < best_energy {
+                    best_energy = energy;
+                    best_map = map;
                 }
             }
         }
     }
-    let (energy, map) = best.expect("at least one restart");
-    AnnealOutcome::Best { map, energy }
+    AnnealOutcome::Best {
+        map: best_map,
+        energy: best_energy,
+    }
 }
 
 #[cfg(test)]

@@ -232,11 +232,9 @@ pub fn axis_quarter_adaptive(len: usize, cost: &dyn Fn(usize, usize) -> u32) -> 
 ///
 /// Candidates: single positions (`r = 1`), adjacent pairs (`r = 2`), and
 /// for `r = 3` either a consecutive triple or the independent best pair +
-/// best single (kept apart so their bridges do not interact).
-///
-/// # Panics
-/// Panics if `r > 3` (quartering leaves at most 3 spare positions) or if
-/// the base ring is empty; both are invariants of [`Base::quarter`].
+/// best single (kept apart so their bridges do not interact). A request
+/// for more than 3 removals (outside the quartering invariant) falls back
+/// to a consecutive run starting at position 0.
 fn best_removals(base: &Base, r: usize, cost: &dyn Fn(usize, usize) -> u32) -> Vec<usize> {
     let n = base.len;
     let pred = |p: usize| (p + n - 1) % n;
@@ -249,27 +247,19 @@ fn best_removals(base: &Base, r: usize, cost: &dyn Fn(usize, usize) -> u32) -> V
     match r {
         0 => vec![],
         1 => {
-            let best = (0..n)
-                .min_by_key(|&p| single_cost(p))
-                .expect("base ring is non-empty");
+            let best = (0..n).min_by_key(|&p| single_cost(p)).unwrap_or(0);
             vec![best]
         }
         2 => {
-            let best = (0..n)
-                .min_by_key(|&p| pair_cost(p))
-                .expect("base ring is non-empty");
+            let best = (0..n).min_by_key(|&p| pair_cost(p)).unwrap_or(0);
             vec![best, succ(best)]
         }
         3 => {
             // Option A: consecutive triple.
-            let t = (0..n)
-                .min_by_key(|&p| triple_cost(p))
-                .expect("base ring is non-empty");
+            let t = (0..n).min_by_key(|&p| triple_cost(p)).unwrap_or(0);
             let t_cost = triple_cost(t);
             // Option B: best pair + best non-interacting single.
-            let p = (0..n)
-                .min_by_key(|&q| pair_cost(q))
-                .expect("base ring is non-empty");
+            let p = (0..n).min_by_key(|&q| pair_cost(q)).unwrap_or(0);
             let forbidden: Vec<usize> =
                 vec![pred(p), p, succ(p), succ(succ(p)), succ(succ(succ(p)))];
             let s = (0..n)
@@ -284,7 +274,44 @@ fn best_removals(base: &Base, r: usize, cost: &dyn Fn(usize, usize) -> u32) -> V
                 _ => vec![t, succ(t), succ(succ(t))],
             }
         }
-        _ => unreachable!("at most 3 removals"),
+        _ => (0..r).collect(),
+    }
+}
+
+/// Sound static dilation bound for one wraparound axis of length `len`
+/// handled by `rule` (1 = halving, 2 = quartering), given a certified
+/// inner-embedding dilation `d` — derived *without* constructing anything.
+///
+/// The bound covers whatever removal placement
+/// [`axis_half_adaptive`]/[`axis_quarter_adaptive`] end up choosing,
+/// because [`best_removals`] minimizes bridge cost over a candidate set
+/// that always contains the placements this arithmetic accounts for:
+///
+/// * no removals (`ℓ` an exact multiple): every transition is one inner
+///   mesh edge (`≤ d`) or one submesh-bit flip (`= 1`) — Lemma 3 /
+///   Lemma 4 exact cases, bound `max(d, 1)`;
+/// * one removal (odd halving, `ℓ ≡ 3 (mod 4)` quartering): a removal
+///   adjacent to a copy seam bridges with one bit flip plus one inner
+///   edge — Corollary 3's odd-extent penalty, bound `d + 1` (for
+///   quartering with inner length 1 the bridge spans two code bits:
+///   bound `2`);
+/// * two removals (`ℓ ≡ 2 (mod 4)` quartering): the seam-straddling pair
+///   bridges on a single code-bit flip, bound `max(d, 1)`;
+/// * three removals (`ℓ ≡ 1 (mod 4)` quartering): pair-at-seam plus a
+///   seam-adjacent single, bound `d + 1`.
+///
+/// `ℓ = 1` keeps a single ring position and has no transitions at all.
+pub fn static_axis_dilation(len: usize, rule: u8, d: u32) -> u32 {
+    if len == 1 {
+        return 0;
+    }
+    let copies = 2 * rule as usize;
+    let m = len.div_ceil(copies);
+    let removals = copies * m - len;
+    match (rule, removals) {
+        (_, 0) | (2, 2) => d.max(1),
+        (2, 1) if m == 1 => 2,
+        _ => d + 1,
     }
 }
 
@@ -455,6 +482,36 @@ mod tests {
             let code = axis_quarter(len);
             check_code(&code);
             assert!(code.dilation_bound(2) <= 2, "len {}", len);
+        }
+    }
+
+    #[test]
+    fn static_axis_dilation_dominates_adaptive_bounds() {
+        // The audit-facing closed form must upper-bound whatever the
+        // adaptive constructors achieve, for every length and rule, under
+        // any cost with unit steps ≤ d (flat_cost is the worst such).
+        for d in 1..=3u32 {
+            let cost = flat_cost(d);
+            for len in 1..=40 {
+                let h = axis_half_adaptive(len, &cost);
+                assert!(
+                    h.dilation_bound_with(&cost) <= static_axis_dilation(len, 1, d),
+                    "half len {} d {}: {} > {}",
+                    len,
+                    d,
+                    h.dilation_bound_with(&cost),
+                    static_axis_dilation(len, 1, d)
+                );
+                let q = axis_quarter_adaptive(len, &cost);
+                assert!(
+                    q.dilation_bound_with(&cost) <= static_axis_dilation(len, 2, d),
+                    "quarter len {} d {}: {} > {}",
+                    len,
+                    d,
+                    q.dilation_bound_with(&cost),
+                    static_axis_dilation(len, 2, d)
+                );
+            }
         }
     }
 

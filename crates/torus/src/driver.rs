@@ -11,7 +11,7 @@
 
 use crate::axis::{axis_half_adaptive, axis_quarter_adaptive, AxisCode};
 use crate::build::build_torus_embedding;
-use cubemesh_core::{construct, Planner};
+use cubemesh_core::{construct, Plan, Planner};
 use cubemesh_embedding::Embedding;
 use cubemesh_topology::{cube_dim, hamming, Shape};
 
@@ -77,21 +77,31 @@ impl AxisCosts {
 /// rule, axis codes, inner shape, inner embedding).
 type Candidate = (u32, Vec<u8>, Vec<AxisCode>, Shape, Embedding);
 
-/// Embed a wraparound mesh into its minimal cube with the §6 machinery.
-///
-/// Returns `None` when no halving/quartering combination lands in the
-/// minimal cube with a plannable inner mesh.
-pub fn embed_torus(shape: &Shape) -> Option<TorusPlanOutcome> {
-    let mut planner = Planner::new();
-    embed_torus_with(shape, &mut planner)
+/// One feasible halving/quartering combination for a wraparound shape:
+/// the per-axis rule, the inner mesh it factors through, and the inner
+/// mesh's plan. This is the *static* face of the driver — enumerable
+/// without constructing anything, so the audit layer certifies exactly
+/// the combinations [`embed_torus_with`] chooses among.
+#[derive(Clone, Debug)]
+pub struct TorusCombo {
+    /// Per-axis rule: 1 = halving (Lemma 3), 2 = quartering (Lemma 4).
+    pub rule: Vec<u8>,
+    /// The inner mesh `⌈ℓᵢ/2rᵢ⌉ × …` the ring codes factor through.
+    pub inner_shape: Shape,
+    /// The §4.2 plan for the inner mesh.
+    pub inner_plan: Plan,
+    /// Submesh code bits `Σ rᵢ` spent on ring copies.
+    pub cbits: u32,
 }
 
-/// [`embed_torus`] reusing a caller-provided planner memo.
-pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPlanOutcome> {
+/// Enumerate every feasible halving/quartering combination for `shape`:
+/// per-axis rules whose inner mesh is plannable and whose host dimension
+/// `⌈log₂ inner⌉ + Σrᵢ` equals the minimal cube `⌈log₂ Πℓᵢ⌉`. The driver
+/// constructs precisely these; the audit layer certifies precisely these.
+pub fn feasible_combos(shape: &Shape, planner: &mut Planner) -> Vec<TorusCombo> {
     let k = shape.rank();
     let total = cube_dim(shape.nodes() as u64);
-    let mut best: Option<Candidate> = None;
-
+    let mut combos = Vec::new();
     for mask in 0..(1u32 << k) {
         let rule: Vec<u8> = (0..k)
             .map(|i| if mask & (1 << i) != 0 { 2 } else { 1 })
@@ -108,16 +118,41 @@ pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPla
         if inner_min + cbits != total {
             continue;
         }
-        let Some(plan) = planner.plan(&inner_shape) else {
+        let Some(inner_plan) = planner.plan(&inner_shape) else {
             continue;
         };
-        let inner = construct(&inner_shape, &plan);
+        combos.push(TorusCombo {
+            rule,
+            inner_shape,
+            inner_plan,
+            cbits,
+        });
+    }
+    combos
+}
+
+/// Embed a wraparound mesh into its minimal cube with the §6 machinery.
+///
+/// Returns `None` when no halving/quartering combination lands in the
+/// minimal cube with a plannable inner mesh.
+pub fn embed_torus(shape: &Shape) -> Option<TorusPlanOutcome> {
+    let mut planner = Planner::new();
+    embed_torus_with(shape, &mut planner)
+}
+
+/// [`embed_torus`] reusing a caller-provided planner memo.
+pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPlanOutcome> {
+    let k = shape.rank();
+    let mut best: Option<Candidate> = None;
+
+    for combo in feasible_combos(shape, planner) {
+        let inner = construct(&combo.inner_shape, &combo.inner_plan);
 
         // Adaptive per-axis codes against measured costs.
         let mut codes = Vec::with_capacity(k);
         let mut bound = 0u32;
-        for (i, &r) in rule.iter().enumerate() {
-            let costs = AxisCosts::measure(&inner_shape, &inner, i);
+        for (i, &r) in combo.rule.iter().enumerate() {
+            let costs = AxisCosts::measure(&combo.inner_shape, &inner, i);
             let cost_fn = |a: usize, b: usize| costs.cost(a, b);
             let code = if r == 2 {
                 axis_quarter_adaptive(shape.len(i), &cost_fn)
@@ -129,7 +164,7 @@ pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPla
         }
 
         if best.as_ref().map(|(b, ..)| bound < *b).unwrap_or(true) {
-            best = Some((bound, rule, codes, inner_shape, inner));
+            best = Some((bound, combo.rule, codes, combo.inner_shape, inner));
         }
     }
 
@@ -141,18 +176,6 @@ pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPla
         inner_dims: inner_shape.dims().to_vec(),
         dilation_bound: bound,
     })
-}
-
-/// Convenience: embed, panicking on failure — for examples and benches
-/// where coverage is known.
-///
-/// # Panics
-/// Panics if [`embed_torus`] returns `None` (an axis rule outside the
-/// half/quarter coverage); use [`embed_torus`] to handle that case.
-pub fn embed_torus_expect(shape: &Shape) -> Embedding {
-    embed_torus(shape)
-        .unwrap_or_else(|| panic!("no torus plan for {}", shape))
-        .embedding
 }
 
 #[cfg(test)]

@@ -23,9 +23,9 @@ pub mod build;
 pub mod driver;
 pub mod predicates;
 
-pub use axis::{axis_half, axis_quarter, AxisCode, Step};
+pub use axis::{axis_half, axis_quarter, static_axis_dilation, AxisCode, Step};
 pub use build::build_torus_embedding;
-pub use driver::{embed_torus, TorusPlanOutcome};
+pub use driver::{embed_torus, embed_torus_with, feasible_combos, TorusCombo, TorusPlanOutcome};
 pub use predicates::{
     corollary3_dilation2, corollary3_dilation3, lemma3_condition, lemma4_condition,
 };

@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, and the tier-1 build+test cycle.
 # Run from anywhere; operates on the repo root.
+#
+#   check.sh          full gate
+#   check.sh --quick  lint + a <=8^3 certify/selfcheck smoke (exits
+#                     non-zero on any violation or certificate failure)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "== quick: audit source lints =="
+    cargo run --release -q -p cubemesh-audit -- lint
+    echo "== quick: certify smoke (<=8^3) =="
+    cargo run --release -q -p cubemesh-audit -- selfcheck --quick
+    echo "Quick checks passed."
+    exit 0
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --check
@@ -14,11 +27,18 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
-echo "== audit: source lints (panic discipline, address casts) =="
+echo "== audit: source lints (panic discipline, casts, concurrency) =="
 cargo run --release -q -p cubemesh-audit -- lint
 
-echo "== audit: plan-certificate self-check (32^3 sweep) =="
+echo "== audit: certificate self-check (mesh/torus/fold/contract, 32^3) =="
 cargo run --release -q -p cubemesh-audit -- selfcheck --stats
+
+echo "== audit: certify artifact (certificate vs floor, JSON) =="
+mkdir -p target
+cargo run --release -q -p cubemesh-audit -- certify --json --sweep 8 \
+    > target/audit-certify.json
+test -s target/audit-certify.json
+echo "wrote target/audit-certify.json"
 
 echo "== bench: quick smoke (JSON emits, parallel == sequential metrics) =="
 # The bench bin exits non-zero if the parallel and sequential engines

@@ -1,0 +1,131 @@
+//! Property tests for the torus and many-to-one certificate layers:
+//! whatever the torus driver or the Corollary 5 fold planner emits for a
+//! random shape must certify, small enough shapes must also construct
+//! within their certified bounds, and corrupted plans must be rejected
+//! with an error — never a panic.
+
+use cubemesh::core::Planner;
+use cubemesh::topology::{cube_dim, Shape};
+use cubemesh_audit::{
+    certify_fold, certify_torus_combo, crosscheck_contract_shape, crosscheck_fold_shape,
+    crosscheck_torus_shape, torus_floors, AuditError,
+};
+use cubemesh_manytoone::plan_corollary5;
+use cubemesh_torus::feasible_combos;
+use proptest::prelude::*;
+
+/// Node-count ceiling for actually constructing the embedding inside a
+/// property test; larger shapes are still statically certified.
+const CONSTRUCT_CAP: usize = 2048;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random wraparound shapes up to 64³: the certifier and the driver
+    /// agree on coverage, certificates respect the torus floors, and
+    /// constructed embeddings stay within their certificate.
+    #[test]
+    fn torus_certificates_dominate_measured(
+        dims in prop::collection::vec(1usize..65, 1..4),
+    ) {
+        let shape = Shape::new(&dims);
+        let mut planner = Planner::new();
+        let construct_it = shape.nodes() <= CONSTRUCT_CAP;
+        let r = crosscheck_torus_shape(&mut planner, &shape, construct_it);
+        prop_assert!(r.is_ok(), "{}: {}", shape, r.unwrap_err());
+        if let Ok(Some(cert)) = r {
+            let floors = torus_floors(&shape, cert.host_dim);
+            prop_assert!(cert.dilation_bound >= floors.dilation);
+            prop_assert!(cert.congestion_bound >= floors.congestion);
+        }
+    }
+
+    /// Random shapes folded 1–2 dims below their minimal cube: every
+    /// cover the fold planner finds certifies and cross-checks, load
+    /// included.
+    #[test]
+    fn fold_certificates_dominate_measured(
+        dims in prop::collection::vec(1usize..65, 1..4),
+        drop in 1u32..3,
+    ) {
+        let shape = Shape::new(&dims);
+        let minimal = cube_dim(shape.nodes() as u64);
+        if let Some(n) = minimal.checked_sub(drop).filter(|&n| n >= 1) {
+            let construct_it = shape.nodes() <= CONSTRUCT_CAP;
+            let r = crosscheck_fold_shape(&shape, n, construct_it);
+            prop_assert!(r.is_ok(), "{} -> Q_{}: {}", shape, n, r.unwrap_err());
+        }
+    }
+
+    /// Random contraction factors up to 8 per axis: the Lemma 5
+    /// certificate dominates the constructed contraction.
+    #[test]
+    fn contract_certificates_dominate_measured(
+        dims in prop::collection::vec(1usize..9, 1..4),
+        factors in prop::collection::vec(1usize..9, 3..4),
+    ) {
+        let shape = Shape::new(&dims);
+        if shape.nodes() * factors.iter().product::<usize>() <= CONSTRUCT_CAP {
+            let mut planner = Planner::new();
+            let r = crosscheck_contract_shape(&mut planner, &shape, &factors[..shape.rank()]);
+            prop_assert!(r.is_ok(), "{} x {:?}: {}", shape, factors, r.unwrap_err());
+        }
+    }
+
+    /// Corrupting a feasible torus combination must yield a precise
+    /// error, not a panic and not a certificate.
+    #[test]
+    fn corrupted_torus_combos_error_cleanly(
+        dims in prop::collection::vec(2usize..33, 1..4),
+        tweak in 0usize..4,
+        bump in 1u8..4,
+    ) {
+        let shape = Shape::new(&dims);
+        let mut planner = Planner::new();
+        let combos = feasible_combos(&shape, &mut planner);
+        if let Some(combo) = combos.first() {
+            let mut bad = combo.clone();
+            match tweak {
+                0 => bad.rule[0] = bad.rule[0].wrapping_add(bump * 2),
+                1 => bad.cbits = bad.cbits.wrapping_add(bump as u32),
+                2 => bad.rule.push(bump),
+                _ => {
+                    let mut d: Vec<usize> = bad.inner_shape.dims().to_vec();
+                    d[0] += bump as usize;
+                    bad.inner_shape = Shape::new(&d);
+                }
+            }
+            let r = certify_torus_combo(&shape, &bad);
+            prop_assert!(
+                matches!(r, Err(AuditError::TorusComboInfeasible { .. })),
+                "{}: corrupted combo produced {:?}", shape, r
+            );
+        }
+    }
+
+    /// Corrupting a fold cover must yield an error, not a panic — even
+    /// with absurd bit counts that would overflow a shift.
+    #[test]
+    fn corrupted_fold_plans_error_cleanly(
+        dims in prop::collection::vec(2usize..33, 1..4),
+        tweak in 0usize..4,
+        bump in 1u32..1200,
+    ) {
+        let shape = Shape::new(&dims);
+        let minimal = cube_dim(shape.nodes() as u64);
+        let n = minimal.saturating_sub(1).max(1);
+        if let Some(plan) = plan_corollary5(&shape, n) {
+            let mut bad = plan.clone();
+            match tweak {
+                0 => bad.lprime[0] = 0,
+                1 => bad.ns[0] = bad.ns[0].wrapping_add(bump),
+                2 => bad.ns.push(1),
+                _ => bad.lprime[0] = bad.lprime[0].saturating_mul(4),
+            }
+            prop_assert!(
+                certify_fold(&shape, &bad).is_err(),
+                "{}: corrupted fold plan certified", shape
+            );
+        }
+    }
+}
