@@ -21,6 +21,13 @@
 //! * `--par-only`  skip the sequential re-run (no speedup column)
 //! * `--shapes`    override the ladder
 //! * `--stats`     print a cubemesh-obs snapshot at the end
+//! * `--no-replay` skip the BENCH_4 replay ladder
+//!
+//! Alongside BENCH_3 the binary also runs the BENCH_4 *replay* ladder
+//! (written to `BENCH_4.json`): each rung replays a periodic stencil
+//! trace through the cubemesh-replay engine, joins the measured peak link
+//! load against the static congestion certificate, and times a rate
+//! sweep's saturation-knee search. `--quick` keeps one replay rung.
 //!
 //! Each stage is timed as the minimum over `--reps` repetitions: on a
 //! shared/noisy host a single-shot timing can be off by an order of
@@ -203,6 +210,123 @@ fn to_json(rungs: &[Rung], threads: usize) -> String {
     out
 }
 
+/// One BENCH_4 replay rung: a certificate-slack replay plus a saturation
+/// sweep, both timed.
+#[derive(Clone, Debug)]
+struct ReplayRung {
+    shape: String,
+    events: usize,
+    slack_s: f64,
+    events_per_s: f64,
+    static_peak_flits: u64,
+    dynamic_peak_flits: u64,
+    utilization: f64,
+    makespan: u64,
+    sweep_s: f64,
+    knee_rate: String,
+}
+
+/// The BENCH_4 replay ladder: stencil slack at paper-relevant shapes plus
+/// a knee search on the smallest. `--quick` keeps only the first rung.
+fn run_replay_ladder(quick: bool) -> Option<Vec<ReplayRung>> {
+    use cubemesh_replay::{certificate_slack, rate_sweep, saturation_knee};
+    let shapes: &[&[usize]] = if quick {
+        &[&[4, 4, 4]]
+    } else {
+        &[&[4, 4, 4], &[8, 8, 8], &[16, 16, 16], &[3, 3, 7]]
+    };
+    let switching = cubemesh_netsim::Switching::StoreAndForward;
+    let mut rungs = Vec::new();
+    for dims in shapes {
+        let shape = Shape::new(dims);
+        let (entry, slack_s) = time(|| certificate_slack(&shape, 8, 4, switching));
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cubemesh-bench: replay slack for {shape} failed: {e}");
+                return None;
+            }
+        };
+        if entry.violation {
+            eprintln!(
+                "cubemesh-bench: {shape} VIOLATES its congestion certificate \
+                 ({} > {})",
+                entry.dynamic_peak_flits, entry.static_peak_flits
+            );
+            return None;
+        }
+        // Knee search on the first rung only: the sweep is the expensive
+        // half and one point is enough to keep the path exercised.
+        let (sweep_s, knee_rate) = if rungs.is_empty() {
+            let (emb, _) = cubemesh_core::embed_mesh(&shape);
+            let rates: [(u64, u64); 4] = [(1, 32), (1, 8), (1, 2), (1, 1)];
+            let (points, sweep_s) = time(|| rate_sweep(&emb, &rates, 8, 128, 3, switching));
+            let points = match points {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cubemesh-bench: replay sweep for {shape} failed: {e}");
+                    return None;
+                }
+            };
+            let knee = match saturation_knee(&points) {
+                Some(k) => format!("{}/{}", points[k].rate_num, points[k].rate_den),
+                None => "none".to_owned(),
+            };
+            (sweep_s, knee)
+        } else {
+            (0.0, String::new())
+        };
+        rungs.push(ReplayRung {
+            shape: shape.to_string(),
+            events: entry.messages as usize,
+            slack_s,
+            events_per_s: entry.messages as f64 / slack_s.max(1e-12),
+            static_peak_flits: entry.static_peak_flits,
+            dynamic_peak_flits: entry.dynamic_peak_flits,
+            utilization: entry.utilization,
+            makespan: entry.makespan,
+            sweep_s,
+            knee_rate,
+        });
+    }
+    Some(rungs)
+}
+
+fn bench4_json(rungs: &[ReplayRung]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"BENCH_4\",\n");
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = writeln!(out, "  \"created_unix\": {unix},");
+    out.push_str("  \"rungs\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"shape\": \"{}\", \"events\": {}, \"slack_s\": {:.6}, \
+             \"events_per_s\": {:.1}, \"static_peak_flits\": {}, \
+             \"dynamic_peak_flits\": {}, \"utilization\": {:.4}, \
+             \"makespan\": {}, \"sweep_s\": {:.6}, \"knee_rate\": \"{}\"",
+            json_escape(&r.shape),
+            r.events,
+            r.slack_s,
+            r.events_per_s,
+            r.static_peak_flits,
+            r.dynamic_peak_flits,
+            r.utilization,
+            r.makespan,
+            r.sweep_s,
+            json_escape(&r.knee_rate)
+        );
+        out.push('}');
+        out.push_str(if i + 1 < rungs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -322,6 +446,38 @@ fn main() -> ExitCode {
         print!("{doc}");
     }
     println!("wrote {out_path}");
+
+    if !args.iter().any(|a| a == "--no-replay") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let Some(replay_rungs) = run_replay_ladder(quick) else {
+            return ExitCode::FAILURE;
+        };
+        for r in &replay_rungs {
+            println!(
+                "{:>12}  replay {:>7} msgs  slack {:>8.3}s ({:>9.0} msg/s)  \
+                 peak {}/{} flits{}",
+                r.shape,
+                r.events,
+                r.slack_s,
+                r.events_per_s,
+                r.dynamic_peak_flits,
+                r.static_peak_flits,
+                if r.knee_rate.is_empty() {
+                    String::new()
+                } else {
+                    format!("  knee @ {}", r.knee_rate)
+                }
+            );
+        }
+        let replay_out =
+            flag_value(&args, "--replay-out").unwrap_or_else(|| "BENCH_4.json".to_owned());
+        let doc4 = bench4_json(&replay_rungs);
+        if let Err(e) = std::fs::write(&replay_out, &doc4) {
+            eprintln!("cubemesh-bench: writing {replay_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {replay_out}");
+    }
     obs::report();
     ExitCode::SUCCESS
 }

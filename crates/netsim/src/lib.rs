@@ -21,5 +21,11 @@ pub mod sim;
 pub mod workload;
 
 pub use routing::ecube_path;
-pub use sim::{simulate, simulate_with, Message, SimResult, Switching};
-pub use workload::{all_axis_shifts, axis_shift, random_permutation, stencil_exchange, transpose};
+pub use sim::{
+    simulate, simulate_observed, simulate_trace, simulate_with, Message, NullObserver, SimError,
+    SimObserver, SimResult, Switching,
+};
+pub use workload::{
+    all_axis_shifts, axis_shift, random_permutation, stencil_exchange, transpose, SplitMix64,
+    WorkloadError,
+};

@@ -1,0 +1,156 @@
+//! The replay subsystem's external contracts:
+//!
+//! 1. **Determinism** — the same trace and configuration produce
+//!    byte-identical JSON reports, across synthetic generators, seeds and
+//!    switching disciplines (property-tested).
+//! 2. **Batch equivalence** — a trace with every event at cycle 0 replays
+//!    to *exactly* the [`cubemesh_netsim::simulate_with`] result for the
+//!    corresponding stencil workload.
+//! 3. **Certificate soundness, dynamically** — for nearest-neighbor
+//!    workloads on certified shapes up to 32³, the measured per-link
+//!    per-phase flit peak never exceeds `flits × congestion_bound`.
+//! 4. **Saturation** — an open-loop rate sweep exhibits a knee.
+
+use cubemesh_embedding::gray_mesh_embedding;
+use cubemesh_netsim::{simulate_with, stencil_exchange, Switching};
+use cubemesh_replay::{
+    bursty_trace, rate_sweep, rate_trace, replay, saturation_knee, shift_trace, slack_report,
+    stencil_trace, ReplayConfig, Trace,
+};
+use cubemesh_topology::Shape;
+use proptest::prelude::*;
+
+fn small_shapes() -> Vec<Vec<usize>> {
+    vec![
+        vec![3, 5],
+        vec![4, 4],
+        vec![2, 3, 4],
+        vec![3, 3, 3],
+        vec![4, 4, 4],
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replay_is_byte_deterministic(
+        dims in prop::sample::select(small_shapes()),
+        seed in 0u64..1000,
+        flits in 1u32..16,
+        pattern in 0u8..3,
+        cut in 0u8..2,
+    ) {
+        let shape = Shape::new(&dims);
+        let emb = gray_mesh_embedding(&shape);
+        let trace = match pattern {
+            0 => stencil_trace(emb.edge_count(), flits, 8, 3),
+            1 => bursty_trace(emb.guest_nodes(), flits, 96, 6, 12, 1, seed),
+            _ => rate_trace(emb.guest_nodes(), flits, 1, 6, 64, seed),
+        };
+        let cfg = ReplayConfig {
+            switching: if cut == 0 { Switching::StoreAndForward } else { Switching::CutThrough },
+            window: 0,
+        };
+        let a = replay(&emb, &trace, &cfg).expect("first replay");
+        let b = replay(&emb, &trace, &cfg).expect("second replay");
+        prop_assert_eq!(a.to_json(), b.to_json());
+        // Conservation: everything offered is eventually delivered.
+        prop_assert_eq!(a.result.delivered, trace.len());
+        prop_assert_eq!(a.offered_flits, a.delivered_flits);
+    }
+
+    #[test]
+    fn recorded_traces_replay_identically(
+        dims in prop::sample::select(small_shapes()),
+        seed in 0u64..1000,
+    ) {
+        let shape = Shape::new(&dims);
+        let emb = gray_mesh_embedding(&shape);
+        let trace = bursty_trace(emb.guest_nodes(), 4, 80, 5, 9, 0, seed);
+        let mut buf = Vec::new();
+        trace.record(&mut buf).expect("record");
+        let reloaded = Trace::load(&mut buf.as_slice()).expect("load");
+        prop_assert_eq!(&trace, &reloaded);
+        let cfg = ReplayConfig::default();
+        let a = replay(&emb, &trace, &cfg).expect("original");
+        let b = replay(&emb, &reloaded, &cfg).expect("reloaded");
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn cycle_zero_trace_equals_simulate_with(
+        dims in prop::sample::select(small_shapes()),
+        flits in 1u32..24,
+        cut in 0u8..2,
+    ) {
+        let shape = Shape::new(&dims);
+        let emb = gray_mesh_embedding(&shape);
+        let switching = if cut == 0 { Switching::StoreAndForward } else { Switching::CutThrough };
+        // All phases at cycle 0 (period 0, one phase) = the batch stencil.
+        let trace = stencil_trace(emb.edge_count(), flits, 0, 1);
+        let cfg = ReplayConfig { switching, window: 0 };
+        let report = replay(&emb, &trace, &cfg).expect("replay");
+        let batch = simulate_with(emb.host(), &stencil_exchange(&emb, flits), switching);
+        prop_assert_eq!(report.result, batch);
+    }
+}
+
+/// Acceptance gate: every certified shape up to 32³ keeps its dynamic
+/// nearest-neighbor peak within the static congestion certificate, under
+/// both switching disciplines. `slack_report` returns `Err` on any
+/// violation, so `expect` *is* the assertion.
+#[test]
+fn certified_shapes_stay_within_their_congestion_certificates() {
+    let shapes: Vec<Shape> = [
+        vec![3, 3, 3],
+        vec![3, 3, 7],
+        vec![3, 5],
+        vec![5, 5, 2],
+        vec![4, 4, 4],
+        vec![8, 8, 8],
+        vec![16, 16, 16],
+        vec![32, 32, 32],
+        vec![12, 20],
+        vec![3, 9, 5],
+    ]
+    .iter()
+    .map(|d| Shape::new(d))
+    .collect();
+    for switching in [Switching::StoreAndForward, Switching::CutThrough] {
+        let entries =
+            slack_report(&shapes, 8, 3, switching).unwrap_or_else(|e| panic!("{switching:?}: {e}"));
+        assert!(
+            entries.len() >= 8,
+            "expected most shapes plannable, got {}",
+            entries.len()
+        );
+        for e in &entries {
+            assert!(
+                e.dynamic_peak_flits <= e.static_peak_flits,
+                "{}",
+                e.to_json()
+            );
+            assert!(e.dynamic_peak_flits >= e.flits as u64, "{}", e.to_json());
+        }
+    }
+}
+
+/// Acceptance gate: an open-loop sweep saturates — delivered throughput
+/// decouples from offered somewhere on the ladder.
+#[test]
+fn rate_sweep_exhibits_a_saturation_knee() {
+    let shape = Shape::new(&[4, 4, 4]);
+    let emb = gray_mesh_embedding(&shape);
+    let rates = [(1u64, 64u64), (1, 16), (1, 4), (1, 2), (1, 1)];
+    let points = rate_sweep(&emb, &rates, 8, 128, 3, Switching::StoreAndForward).expect("sweep");
+    let knee = saturation_knee(&points).expect("saturation knee");
+    assert!(
+        knee > 0,
+        "the lightest load should not already be saturated"
+    );
+    let shifted = shift_trace(&shape, 8, 16, 6);
+    // Sanity: other generators replay clean on the same embedding.
+    let r = replay(&emb, &shifted, &ReplayConfig::default()).expect("shift replay");
+    assert_eq!(r.result.delivered, shifted.len());
+}

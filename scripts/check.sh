@@ -42,11 +42,28 @@ echo "wrote target/audit-certify.json"
 
 echo "== bench: quick smoke (JSON emits, parallel == sequential metrics) =="
 # The bench bin exits non-zero if the parallel and sequential engines
-# disagree on any shape. Full ladder stays out of tier-1; --quick runs
-# the small shapes only.
+# disagree on any shape, or if the BENCH_4 replay rung violates its
+# congestion certificate. Full ladders stay out of tier-1; --quick runs
+# the small shapes plus one replay point.
+mkdir -p target
 cargo run --release -q -p cubemesh-bench --bin cubemesh-bench -- \
-    --quick --json --out /tmp/cubemesh_bench_smoke.json >/dev/null
+    --quick --json --out /tmp/cubemesh_bench_smoke.json \
+    --replay-out target/replay-report.json >/dev/null
 test -s /tmp/cubemesh_bench_smoke.json
+test -s target/replay-report.json
 rm -f /tmp/cubemesh_bench_smoke.json
+echo "wrote target/replay-report.json"
+
+echo "== replay: determinism + conservation smoke =="
+# --check replays the same recorded trace twice and exits non-zero unless
+# the reports are byte-identical and delivered == injected.
+cargo run --release -q --bin cubemesh -- replay 3 5 --pattern bursty \
+    --horizon 64 --seed 9 --record /tmp/cubemesh_replay_smoke.jsonl --check
+cargo run --release -q --bin cubemesh -- replay 3 5 \
+    --trace /tmp/cubemesh_replay_smoke.jsonl --check
+rm -f /tmp/cubemesh_replay_smoke.jsonl
+# Slack join: measured dynamic peak must stay within the certificate
+# (non-zero exit on violation).
+cargo run --release -q --bin cubemesh -- replay 3 3 7 --slack
 
 echo "All checks passed."

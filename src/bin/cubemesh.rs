@@ -8,7 +8,16 @@
 //! cubemesh simulate 9 9 9 [--flits N]    stencil-exchange comparison
 //! cubemesh census 5                      Figure-2 census at li <= 2^5
 //! cubemesh verify FILE                   re-verify an exported embedding
+//! cubemesh replay 4 4 4 [--pattern P]    trace replay with windowed stats
 //! ```
+//!
+//! `replay` drives the trace-replay subsystem: `--pattern
+//! stencil|shifts|bursty|sweep` picks a synthetic trace (`--trace FILE`
+//! loads a recorded one instead), `--slack` joins the replay against the
+//! static congestion certificate, `--check` replays twice and fails unless
+//! the reports are byte-identical and every injected message was
+//! delivered, and `--record FILE` saves the trace as JSONL for later
+//! replay.
 //!
 //! Every subcommand accepts `--stats` to print an instrumentation snapshot
 //! (counters, histograms, span timings) after the run; setting
@@ -36,7 +45,9 @@ fn main() -> ExitCode {
         }
     }
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: cubemesh <embed|classify|torus|simulate|census|verify> … [--stats]");
+        eprintln!(
+            "usage: cubemesh <embed|classify|torus|simulate|census|verify|replay> … [--stats]"
+        );
         return ExitCode::from(2);
     };
     let code = match cmd.as_str() {
@@ -46,6 +57,7 @@ fn main() -> ExitCode {
         "simulate" => simulate_cmd(rest),
         "census" => census(rest),
         "verify" => verify(rest),
+        "replay" => replay_cmd(rest),
         other => {
             eprintln!("unknown command '{}'", other);
             ExitCode::from(2)
@@ -276,6 +288,243 @@ fn census(args: &[String]) -> ExitCode {
         s[3],
         c.constructive_percent()
     );
+    ExitCode::SUCCESS
+}
+
+fn replay_cmd(args: &[String]) -> ExitCode {
+    use cubemesh::replay::{
+        bursty_trace, certificate_slack, rate_sweep, replay, saturation_knee, shift_trace,
+        stencil_trace, ReplayConfig, Trace,
+    };
+    let (dims, flags) = parse_dims(args);
+    if dims.is_empty() {
+        eprintln!(
+            "usage: cubemesh replay <l1> [l2 …] [--pattern stencil|shifts|bursty|sweep]\n\
+             \x20  [--flits N] [--period N] [--phases N] [--horizon N] [--window N]\n\
+             \x20  [--seed N] [--cut-through x] [--trace FILE] [--record FILE]\n\
+             \x20  [--slack x] [--check x] [--json x]"
+        );
+        return ExitCode::from(2);
+    }
+    let shape = Shape::new(&dims);
+    let flits: u32 = flag(&flags, "flits")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let phases: u64 = flag(&flags, "phases")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let horizon: u64 = flag(&flags, "horizon")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let seed: u64 = flag(&flags, "seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let switching = if flag(&flags, "cut-through").is_some() {
+        Switching::CutThrough
+    } else {
+        Switching::StoreAndForward
+    };
+    let json = flag(&flags, "json").is_some();
+
+    if flag(&flags, "slack").is_some() {
+        return match certificate_slack(&shape, flits, phases, switching) {
+            Ok(entry) => {
+                if json {
+                    println!("{}", entry.to_json());
+                } else {
+                    println!(
+                        "{}: certified <= {} flits/link/phase, measured {} \
+                         (slack {}, utilization {:.2}){}",
+                        shape,
+                        entry.static_peak_flits,
+                        entry.dynamic_peak_flits,
+                        entry.slack_flits,
+                        entry.utilization,
+                        if entry.violation { "  VIOLATION" } else { "" }
+                    );
+                }
+                if entry.violation {
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("slack report failed: {}", e);
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let (emb, _) = embed_mesh(&shape);
+    let pattern = flag(&flags, "pattern").unwrap_or("stencil");
+
+    if pattern == "sweep" {
+        let rates: [(u64, u64); 7] = [(1, 64), (1, 32), (1, 16), (1, 8), (1, 4), (1, 2), (1, 1)];
+        return match rate_sweep(&emb, &rates, flits, horizon, seed, switching) {
+            Ok(points) => {
+                for p in &points {
+                    if json {
+                        println!("{}", p.to_json());
+                    } else {
+                        println!(
+                            "  rate {}/{:<3} offered {:>9.3}  delivered {:>9.3}  \
+                             avg latency {:>8.1}  makespan {}",
+                            p.rate_num,
+                            p.rate_den,
+                            p.offered_rate,
+                            p.delivered_rate,
+                            p.avg_latency,
+                            p.makespan
+                        );
+                    }
+                }
+                match saturation_knee(&points) {
+                    Some(k) if !json => println!(
+                        "saturation knee at rate {}/{}",
+                        points[k].rate_num, points[k].rate_den
+                    ),
+                    None if !json => println!("no saturation within the ladder"),
+                    _ => {}
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sweep failed: {}", e);
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let period: u64 = flag(&flags, "period")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4 * flits as u64);
+    let trace = if let Some(path) = flag(&flags, "trace") {
+        let f = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {}: {}", path, e);
+                return ExitCode::from(1);
+            }
+        };
+        match Trace::load(&mut BufReader::new(f)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load trace: {}", e);
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        match pattern {
+            "stencil" => stencil_trace(emb.edge_count(), flits, period, phases),
+            "shifts" => shift_trace(&shape, flits, period, phases),
+            "bursty" => bursty_trace(emb.guest_nodes(), flits, horizon, 16, 32, 0, seed),
+            other => {
+                eprintln!("unknown pattern '{}'", other);
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if let Some(path) = flag(&flags, "record") {
+        let mut f = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {}: {}", path, e);
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = trace.record(&mut f) {
+            eprintln!("record failed: {}", e);
+            return ExitCode::from(1);
+        }
+        eprintln!("recorded {} events to {}", trace.len(), path);
+    }
+
+    let cfg = ReplayConfig {
+        switching,
+        window: flag(&flags, "window")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    };
+    let report = match replay(&emb, &trace, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay failed: {}", e);
+            return ExitCode::from(1);
+        }
+    };
+
+    if flag(&flags, "check").is_some() {
+        let again = match replay(&emb, &trace, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay check: second run failed: {}", e);
+                return ExitCode::from(1);
+            }
+        };
+        if report.to_json() != again.to_json() {
+            eprintln!("replay check FAILED: reports differ between identical runs");
+            return ExitCode::from(1);
+        }
+        if report.result.delivered != trace.len() {
+            eprintln!(
+                "replay check FAILED: delivered {} != injected {}",
+                report.result.delivered,
+                trace.len()
+            );
+            return ExitCode::from(1);
+        }
+        println!(
+            "replay check OK: {} messages, deterministic, makespan {}",
+            trace.len(),
+            report.result.makespan
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        println!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{}: {} events over horizon {}, window {} ({} windows, warm-up {})",
+        shape,
+        trace.len(),
+        report.horizon,
+        report.window,
+        report.windows.len(),
+        report.warmup_windows
+    );
+    println!(
+        "offered {:.3} flits/cycle, delivered-by-horizon {:.3}; peak link load {} \
+         flits/window over {} directed links; makespan {}",
+        report.offered_rate,
+        report.delivered_rate,
+        report.peak_link_flits_per_window,
+        report.directed_links,
+        report.result.makespan
+    );
+    let cap = 24usize;
+    println!("  win   inj     dlv    p50    p99    maxlat  maxq   occupancy");
+    for w in report.windows.iter().take(cap) {
+        println!(
+            "  {:>4} {:>6} {:>6} {:>6} {:>6} {:>8} {:>5}   {:.4}",
+            w.index,
+            w.injected,
+            w.delivered,
+            w.p50_latency,
+            w.p99_latency,
+            w.max_latency,
+            w.max_queue_depth,
+            w.occupancy
+        );
+    }
+    if report.windows.len() > cap {
+        println!(
+            "  … {} more windows (use --json for all)",
+            report.windows.len() - cap
+        );
+    }
     ExitCode::SUCCESS
 }
 

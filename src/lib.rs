@@ -3,6 +3,7 @@
 //! Facade crate re-exporting the full workspace. See the README for a tour
 //! and DESIGN.md for the paper-to-module map.
 
+pub use cubemesh_audit as audit;
 pub use cubemesh_census as census;
 pub use cubemesh_core as core;
 pub use cubemesh_embedding as embedding;
@@ -10,6 +11,7 @@ pub use cubemesh_gray as gray;
 pub use cubemesh_manytoone as manytoone;
 pub use cubemesh_netsim as netsim;
 pub use cubemesh_obs as obs;
+pub use cubemesh_replay as replay;
 pub use cubemesh_reshape as reshape;
 pub use cubemesh_search as search;
 pub use cubemesh_topology as topology;
