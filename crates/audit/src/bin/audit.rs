@@ -19,7 +19,9 @@
 //! ```
 //!
 //! Every subcommand accepts `--stats` to print an instrumentation
-//! snapshot after the run (`CUBEMESH_STATS=text|json` does the same).
+//! snapshot after the run (`CUBEMESH_STATS=text|json` does the same),
+//! and `--trace FILE` to record a hierarchical execution trace (Chrome
+//! `trace_event` JSON at FILE plus FILE.folded / FILE.jsonl exports).
 
 use cubemesh_audit::{
     certify_fold, certify_torus, lint_workspace, manytoone_floors, mesh_floors, sweep,
@@ -42,8 +44,21 @@ fn main() -> ExitCode {
             obs::set_mode(obs::StatsMode::Text);
         }
     }
+    let trace_out = match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                eprintln!("--trace requires an output file path");
+                return ExitCode::from(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            obs::trace::set_enabled(true);
+            Some(path)
+        }
+        None => None,
+    };
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: cubemesh-audit <lint|certify|selfcheck> ... [--stats]");
+        eprintln!("usage: cubemesh-audit <lint|certify|selfcheck> ... [--stats] [--trace FILE]");
         return ExitCode::from(2);
     };
     let code = match cmd.as_str() {
@@ -56,6 +71,17 @@ fn main() -> ExitCode {
         }
     };
     obs::report();
+    if let Some(path) = trace_out {
+        obs::trace::set_enabled(false);
+        let log = obs::trace::drain();
+        match log.write_files(std::path::Path::new(&path)) {
+            Ok(paths) => {
+                let names: Vec<String> = paths.iter().map(|p| p.display().to_string()).collect();
+                eprintln!("trace: {} events -> {}", log.len(), names.join(", "));
+            }
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
     code
 }
 

@@ -30,6 +30,12 @@
 //!   interior mutability next to fan-out is either a data race waiting
 //!   for a real-threads build or a refactoring trap. Use per-worker
 //!   state plus a reduction instead.
+//! * **dropped-span-guard** — a `span!(…)` / `SpanTimer::new(…)` guard
+//!   bound to `_` (`let _ = span!(…)`) or left as a bare statement
+//!   (`span!(…);`) drops at the end of *that expression*, silently
+//!   recording a zero-length span and corrupting every nested span path
+//!   opened afterwards. Bind the guard to a named placeholder
+//!   (`let _span = span!(…);`) so it lives to the end of the scope.
 //!
 //! The scanner is deliberately lexical, not syntactic: comments, string
 //! literals and char literals are blanked first (so `write!(f, "…expected
@@ -62,6 +68,9 @@ pub enum Rule {
     /// Non-`Sync` interior mutability in a worker-spawning function, or
     /// `static mut` anywhere.
     SharedMutInWorker,
+    /// Span guard dropped immediately (`let _ = span!(…)` or a bare
+    /// `span!(…);` statement).
+    DroppedSpanGuard,
 }
 
 impl fmt::Display for Rule {
@@ -74,6 +83,7 @@ impl fmt::Display for Rule {
             Rule::ShapeProductOverflow => "shape-product-overflow",
             Rule::AllocInChunkLoop => "alloc-in-chunk-loop",
             Rule::SharedMutInWorker => "shared-mut-in-worker",
+            Rule::DroppedSpanGuard => "dropped-span-guard",
         };
         write!(f, "{name}")
     }
@@ -652,6 +662,7 @@ pub fn lint_source(label: &str, text: &str, allow: &mut Allowlist) -> Vec<Violat
     let line_of = |off: usize| offsets.partition_point(|&o| o <= off);
     scan_chunk_loop_allocs(label, &clean, &in_tests, &line_of, &mut out);
     scan_worker_cells(label, &clean, &fns, &in_tests, &line_of, &mut out);
+    scan_dropped_span_guards(label, &clean, &in_tests, &line_of, &mut out);
     out.sort_by_key(|a| (a.line, a.rule as usize));
     out
 }
@@ -804,6 +815,86 @@ fn scan_worker_cells(
                     ),
                 });
             }
+        }
+    }
+}
+
+/// Span-guard constructors for **dropped-span-guard**.
+const SPAN_GUARD_PATTERNS: [&str; 2] = ["span!(", "SpanTimer::new("];
+
+/// **dropped-span-guard**: find `span!(…)` / `SpanTimer::new(…)` sites
+/// whose guard value is discarded on the spot — either bound to the `_`
+/// wildcard (which drops immediately, unlike `_span`) or evaluated as a
+/// bare statement. Both record a zero-length span and unbalance the
+/// thread's span stack relative to the author's intent.
+fn scan_dropped_span_guards(
+    label: &str,
+    clean: &str,
+    in_tests: &dyn Fn(usize) -> bool,
+    line_of: &dyn Fn(usize) -> usize,
+    out: &mut Vec<Violation>,
+) {
+    let b = clean.as_bytes();
+    for pat in SPAN_GUARD_PATTERNS {
+        for (off, _) in clean.match_indices(pat) {
+            // Word boundary: `my_span!(` or `to_span!(` are different macros.
+            if off > 0 && is_ident_byte(b[off - 1]) {
+                continue;
+            }
+            if in_tests(off) {
+                continue;
+            }
+            let line_start = clean[..off].rfind('\n').map(|i| i + 1).unwrap_or(0);
+            // Text before the call on its line, with any module path
+            // (`obs::`, `crate::trace::`) peeled off the end.
+            let mut before = clean[line_start..off].trim_end();
+            while let Some(stripped) = before.strip_suffix("::") {
+                before = stripped
+                    .trim_end_matches(|c: char| c == '_' || c.is_ascii_alphanumeric())
+                    .trim_end();
+            }
+            let wildcard_bound = before.strip_suffix('=').is_some_and(|pre| {
+                let pre = pre.trim_end();
+                pre.ends_with("let _") && !pre.ends_with("let __")
+            });
+            // A call with nothing before it on the line is a bare
+            // statement only if the previous line finished a statement —
+            // `let _span =` on the line above is a continuation.
+            let bare_statement = if before.is_empty() {
+                match clean[..line_start]
+                    .lines()
+                    .rev()
+                    .find(|l| !l.trim().is_empty())
+                {
+                    None => true,
+                    Some(prev) => {
+                        let t = prev.trim_end();
+                        t.ends_with(';') || t.ends_with('{') || t.ends_with('}')
+                    }
+                }
+            } else {
+                before.ends_with(';') || before.ends_with('{') || before.ends_with('}')
+            };
+            if !wildcard_bound && !bare_statement {
+                continue;
+            }
+            let call = pat.trim_end_matches('(');
+            out.push(Violation {
+                file: label.to_owned(),
+                line: line_of(off),
+                rule: Rule::DroppedSpanGuard,
+                message: if wildcard_bound {
+                    format!(
+                        "`let _ = {call}(…)` drops the span guard immediately, recording a \
+                         zero-length span; bind it (`let _span = {call}(…);`)"
+                    )
+                } else {
+                    format!(
+                        "bare `{call}(…);` statement drops the span guard immediately, \
+                         recording a zero-length span; bind it (`let _span = {call}(…);`)"
+                    )
+                },
+            });
         }
     }
 }
@@ -1009,6 +1100,43 @@ mod tests {
         assert_eq!(v[0].rule, Rule::SharedMutInWorker);
         assert_eq!(v[0].line, 2);
         assert!(v[0].message.contains("fan_out"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn dropped_span_guard_is_flagged() {
+        // `let _ = …` drops the guard on the spot.
+        let v = lint_str("pub fn f() {\n    let _ = obs::span!(\"construct\");\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DroppedSpanGuard);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("let _ ="), "{}", v[0].message);
+        // A bare statement drops it too, for both constructor spellings.
+        let v = lint_str("pub fn f() {\n    span!(\"construct\");\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DroppedSpanGuard);
+        let v = lint_str("pub fn f() {\n    obs::SpanTimer::new(\"x\");\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DroppedSpanGuard);
+    }
+
+    #[test]
+    fn bound_span_guard_is_legal() {
+        // Named placeholder bindings live until end of scope.
+        assert!(lint_str("pub fn f() {\n    let _span = obs::span!(\"x\");\n}\n").is_empty());
+        // Closures returning the guard hand ownership to the caller.
+        assert!(lint_str(
+            "pub fn f(top: bool) {\n    let _span = top.then(|| obs::span!(\"x\"));\n}\n"
+        )
+        .is_empty());
+        // A continuation line is still the same binding statement.
+        assert!(lint_str("pub fn f() {\n    let _span =\n        span!(\"x\");\n}\n").is_empty());
+        // Test modules are exempt, like every other rule.
+        assert!(lint_str(
+            "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { span!(\"x\"); }\n}\n"
+        )
+        .is_empty());
+        // Different macros sharing the suffix are not span guards.
+        assert!(lint_str("pub fn f() {\n    my_span!(\"x\");\n}\n").is_empty());
     }
 
     #[test]

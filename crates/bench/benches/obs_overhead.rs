@@ -1,13 +1,20 @@
 //! Cost of the compiled-in instrumentation: identical workloads with
 //! stats disabled (each site is one relaxed atomic load) and enabled.
 //! The acceptance bar is ≤2% overhead when enabled and ~0 when off.
+//!
+//! `bench_trace_overhead` additionally gates the tracing layer on the
+//! 64³ construct: disabled tracing must stay within 1% of the fully
+//! uninstrumented baseline and enabled tracing within 5%. These are
+//! hard assertions — `cargo bench --bench obs_overhead` fails if the
+//! trace guard stops being cheap.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cubemesh_census::census_3d;
-use cubemesh_core::Planner;
+use cubemesh_core::{construct, Planner};
 use cubemesh_obs as obs;
 use cubemesh_topology::Shape;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_planner_overhead(c: &mut Criterion) {
     let shape = Shape::new(&[21, 9, 5]);
@@ -41,5 +48,67 @@ fn bench_census_overhead(c: &mut Criterion) {
     obs::reset();
 }
 
-criterion_group!(benches, bench_planner_overhead, bench_census_overhead);
+/// Median seconds per call of `f` over `samples` runs (one warmup).
+fn median_secs<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn bench_trace_overhead(_c: &mut Criterion) {
+    // The trace guard on the hot construct path. Measured directly
+    // (not via the criterion shim) because the assertions need the
+    // medians, which the shim does not expose to callers.
+    let shape = Shape::new(&[64, 64, 64]);
+    let plan = Planner::new().plan(&shape).expect("64^3 is plannable");
+    let samples = 9;
+
+    obs::set_enabled(false);
+    obs::trace::set_enabled(false);
+    let baseline = median_secs(samples, || construct(&shape, &plan));
+    let disabled = median_secs(samples, || construct(&shape, &plan));
+
+    obs::trace::set_enabled(true);
+    let enabled = median_secs(samples, || {
+        let e = construct(&shape, &plan);
+        // Keep the per-thread buffers bounded across samples.
+        let _ = obs::trace::drain();
+        e
+    });
+    obs::trace::set_enabled(false);
+    let _ = obs::trace::drain();
+    obs::trace::reset();
+
+    let disabled_pct = 100.0 * (disabled / baseline - 1.0);
+    let enabled_pct = 100.0 * (enabled / baseline - 1.0);
+    println!(
+        "bench obs_overhead/trace_construct_64 ... baseline {:.1} ms, trace-off {:+.2}%, \
+         trace-on {:+.2}% ({samples} samples)",
+        baseline * 1e3,
+        disabled_pct,
+        enabled_pct
+    );
+    assert!(
+        disabled_pct <= 1.0,
+        "disabled tracing costs {disabled_pct:.2}% on 64^3 construct (budget 1%)"
+    );
+    assert!(
+        enabled_pct <= 5.0,
+        "enabled tracing costs {enabled_pct:.2}% on 64^3 construct (budget 5%)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_planner_overhead,
+    bench_census_overhead,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -11,6 +11,8 @@
 //! ```text
 //! cubemesh-bench [--json] [--out PATH] [--threads N] [--quick] [--reps N]
 //!                [--shapes L1xL2xL3[,L1xL2xL3...]] [--par-only] [--stats]
+//!                [--compare BASE.json] [--tolerance PCT] [--compare-out PATH]
+//!                [--trace FILE]
 //! ```
 //!
 //! * `--json`      print the JSON document to stdout too
@@ -22,6 +24,21 @@
 //! * `--shapes`    override the ladder
 //! * `--stats`     print a cubemesh-obs snapshot at the end
 //! * `--no-replay` skip the BENCH_4 replay ladder
+//! * `--trace FILE` record a hierarchical execution trace (Chrome JSON at
+//!   FILE plus FILE.folded / FILE.jsonl)
+//!
+//! ## Perf-trajectory gating
+//!
+//! `--compare BASE.json` loads a prior BENCH_3 document and compares this
+//! run's `construct_nodes_per_s`, `metrics_hops_per_s` and `peak_rss_kb`
+//! per rung (matched by shape; rungs missing on either side are skipped).
+//! Any metric that moves past the tolerance in the bad direction makes
+//! the process exit non-zero — `scripts/check.sh` runs this on every
+//! gate, so perf regressions fail CI like test regressions do.
+//! `--tolerance PCT` overrides the default (15); `--compare-out PATH`
+//! writes the comparison as JSON; `--inject-regression` (self-test only)
+//! deflates this run's throughput by 25% before comparing, proving the
+//! gate trips.
 //!
 //! Alongside BENCH_3 the binary also runs the BENCH_4 *replay* ladder
 //! (written to `BENCH_4.json`): each rung replays a periodic stencil
@@ -171,6 +188,10 @@ fn to_json(rungs: &[Rung], threads: usize) -> String {
         .map(|n| n.get())
         .unwrap_or(1);
     let _ = writeln!(out, "  \"host_cores\": {cores},");
+    // Honest-baseline marker: with the shim backend on one worker,
+    // `speedup_construct_metrics` < 1.0 is the forced two-shard merge
+    // overhead on a sequential host, not a parallelism regression.
+    let _ = writeln!(out, "  \"parallel_backend\": \"{}\",", rayon::backend());
     out.push_str("  \"rungs\": [\n");
     for (i, r) in rungs.iter().enumerate() {
         out.push_str("    {");
@@ -348,10 +369,23 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--stats") && obs::mode() == obs::StatsMode::Off {
         obs::set_mode(obs::StatsMode::Text);
     }
+    let trace_out = flag_value(&args, "--trace");
+    if trace_out.is_some() {
+        obs::trace::set_enabled(true);
+    }
     if let Some(t) = flag_value(&args, "--threads") {
         std::env::set_var("RAYON_NUM_THREADS", &t);
     }
     let threads = rayon::current_num_threads();
+    // Lead with the execution environment so a pasted bench line can't be
+    // mistaken for numbers from a real work-stealing pool.
+    println!(
+        "cubemesh-bench: threads={threads} host_cores={} backend={}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rayon::backend()
+    );
     let par_only = args.iter().any(|a| a == "--par-only");
     let reps: usize = flag_value(&args, "--reps")
         .and_then(|v| v.parse().ok())
@@ -447,6 +481,68 @@ fn main() -> ExitCode {
     }
     println!("wrote {out_path}");
 
+    // Perf-trajectory gate: compare against a prior baseline, fail on any
+    // metric past tolerance. Runs before the replay ladder so the exit
+    // code is decided even if BENCH_4 is skipped.
+    let mut regressed = false;
+    if let Some(base_path) = flag_value(&args, "--compare") {
+        let tolerance = flag_value(&args, "--tolerance")
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|pct| pct / 100.0)
+            .unwrap_or(cubemesh_bench::DEFAULT_TOLERANCE);
+        let base_doc = match std::fs::read_to_string(&base_path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cubemesh-bench: reading baseline {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match cubemesh_bench::load_baseline(&base_doc) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cubemesh-bench: baseline {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(backend) = &baseline.parallel_backend {
+            if backend != rayon::backend() {
+                eprintln!(
+                    "cubemesh-bench: warning: baseline backend '{backend}' != \
+                     current '{}' — deltas compare different executors",
+                    rayon::backend()
+                );
+            }
+        }
+        // Self-test hook for check.sh: deflate this run's throughput 25%
+        // (past any sane tolerance) to prove the gate actually trips.
+        let inject = args.iter().any(|a| a == "--inject-regression");
+        let current: Vec<cubemesh_bench::RungMetrics> = rungs
+            .iter()
+            .map(|r| cubemesh_bench::RungMetrics {
+                shape: r.shape.clone(),
+                construct_nodes_per_s: r.construct_nodes_per_s * if inject { 0.75 } else { 1.0 },
+                metrics_hops_per_s: r.metrics_hops_per_s * if inject { 0.75 } else { 1.0 },
+                peak_rss_kb: r.peak_rss_kb,
+            })
+            .collect();
+        let report = match cubemesh_bench::compare_rungs(&baseline.rungs, &current, tolerance) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cubemesh-bench: compare: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report.to_text());
+        if let Some(path) = flag_value(&args, "--compare-out") {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cubemesh-bench: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        regressed = !report.regressions().is_empty();
+    }
+
     if !args.iter().any(|a| a == "--no-replay") {
         let quick = args.iter().any(|a| a == "--quick");
         let Some(replay_rungs) = run_replay_ladder(quick) else {
@@ -479,5 +575,20 @@ fn main() -> ExitCode {
         println!("wrote {replay_out}");
     }
     obs::report();
+    if let Some(path) = trace_out {
+        obs::trace::set_enabled(false);
+        let log = obs::trace::drain();
+        match log.write_files(std::path::Path::new(&path)) {
+            Ok(paths) => {
+                let names: Vec<String> = paths.iter().map(|p| p.display().to_string()).collect();
+                eprintln!("trace: {} events -> {}", log.len(), names.join(", "));
+            }
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
+    if regressed {
+        eprintln!("cubemesh-bench: REGRESSION beyond tolerance (see compare report above)");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -95,8 +95,8 @@ fn fig1() {
         let mc = gray_fraction_monte_carlo(k, 2_000_000, 0xF1A5 + k as u64);
         let exact = match k {
             1 => "1.0000 (n=9)".to_string(),
-            2 => format!("{:.4} (n=9)", gray_fraction_exact(2, 9)),
-            3 => format!("{:.4} (n=7)", gray_fraction_exact(3, 7)),
+            2 => format!("{:.4} (n=9)", gray_fraction_exact(2, 9).expect("k ≤ 3")),
+            3 => format!("{:.4} (n=7)", gray_fraction_exact(3, 7).expect("k ≤ 3")),
             _ => "-".to_string(),
         };
         println!("{:>3} {:>12.6} {:>12.6} {:>16}", k, cf, mc, exact);

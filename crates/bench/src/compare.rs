@@ -1,0 +1,420 @@
+//! Bench-history comparison: load a prior `BENCH_3.json` baseline and
+//! gate the current run's per-rung throughput/memory against it.
+//!
+//! The comparison is deliberately narrow — it reads only the three
+//! figures of merit the perf trajectory is judged on:
+//!
+//! * `construct_nodes_per_s` (higher is better),
+//! * `metrics_hops_per_s` (higher is better),
+//! * `peak_rss_kb` (lower is better).
+//!
+//! Rungs are matched by shape string; rungs present on only one side
+//! (e.g. a `--quick` run against a full-ladder baseline) are skipped, so
+//! the smoke gate in `scripts/check.sh` compares just the rung it ran. A
+//! metric **regresses** when it moves in the bad direction by more than
+//! the tolerance (throughput: `current < baseline·(1-tol)`; RSS:
+//! `current > baseline·(1+tol)`). Stage timings are minimum-of-reps, so
+//! the tolerance absorbs scheduler noise, not measurement noise; the
+//! default (15%) sits below the 20% injected-regression self-test in
+//! check.sh and well above observed rerun jitter on the pinned ladder.
+
+use cubemesh_obs::{parse_json, JsonValue};
+use std::fmt::Write as _;
+
+/// Default regression tolerance (fraction of the baseline value).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// The figures of merit one rung is compared on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RungMetrics {
+    /// Shape string, e.g. `"64x64x64"` — the join key.
+    pub shape: String,
+    /// Construct throughput, nodes per second (higher is better).
+    pub construct_nodes_per_s: f64,
+    /// Metrics throughput, route hops per second (higher is better).
+    pub metrics_hops_per_s: f64,
+    /// Peak resident set size in kB (lower is better; 0 = unavailable).
+    pub peak_rss_kb: u64,
+}
+
+/// A parsed baseline document (the subset of `BENCH_3.json` the compare
+/// gate consumes).
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// Worker-thread count the baseline ran with.
+    pub threads: u64,
+    /// Cores on the baseline host.
+    pub host_cores: u64,
+    /// Parallel backend name (absent in pre-trace baselines).
+    pub parallel_backend: Option<String>,
+    /// Per-rung figures of merit.
+    pub rungs: Vec<RungMetrics>,
+}
+
+/// Parse a `BENCH_3.json` document into a [`Baseline`].
+pub fn load_baseline(json: &str) -> Result<Baseline, String> {
+    let doc = parse_json(json)
+        .map_err(|(pos, msg)| format!("baseline is not valid JSON: {msg} at byte {pos}"))?;
+    let num = |v: Option<&JsonValue>| v.and_then(JsonValue::as_f64);
+    let rungs_json = doc
+        .get("rungs")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| "baseline has no \"rungs\" array".to_owned())?;
+    let mut rungs = Vec::with_capacity(rungs_json.len());
+    for (i, r) in rungs_json.iter().enumerate() {
+        let shape = r
+            .get("shape")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("rung {i} has no \"shape\""))?
+            .to_owned();
+        rungs.push(RungMetrics {
+            shape,
+            construct_nodes_per_s: num(r.get("construct_nodes_per_s")).unwrap_or(0.0),
+            metrics_hops_per_s: num(r.get("metrics_hops_per_s")).unwrap_or(0.0),
+            peak_rss_kb: num(r.get("peak_rss_kb")).unwrap_or(0.0) as u64,
+        });
+    }
+    Ok(Baseline {
+        threads: num(doc.get("threads")).unwrap_or(0.0) as u64,
+        host_cores: num(doc.get("host_cores")).unwrap_or(0.0) as u64,
+        parallel_backend: doc
+            .get("parallel_backend")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned),
+        rungs,
+    })
+}
+
+/// One metric's baseline-vs-current delta.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Rung shape.
+    pub shape: String,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed change in percent of baseline, oriented so **negative is
+    /// worse** for every metric (RSS growth reports as negative).
+    pub change_pct: f64,
+    /// Did this metric move past the tolerance in the bad direction?
+    pub regressed: bool,
+}
+
+/// The result of comparing a run against a baseline.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// Tolerance the comparison used (fraction of baseline).
+    pub tolerance: f64,
+    /// Every compared metric, in rung order.
+    pub deltas: Vec<Delta>,
+    /// Rungs present in the current run but not the baseline (or vice
+    /// versa), skipped.
+    pub skipped: Vec<String>,
+}
+
+impl CompareReport {
+    /// Deltas that breached the tolerance.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Human-readable report, one line per metric.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench compare (tolerance {:.0}%):",
+            self.tolerance * 100.0
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "  {:>12} {:<24} {:>14.1} -> {:>14.1}  {:>+7.1}%{}",
+                d.shape,
+                d.metric,
+                d.baseline,
+                d.current,
+                d.change_pct,
+                if d.regressed { "  REGRESSION" } else { "" }
+            );
+        }
+        for s in &self.skipped {
+            let _ = writeln!(out, "  {s:>12} not in both runs, skipped");
+        }
+        let n = self.regressions().len();
+        let _ = writeln!(
+            out,
+            "  {} metric(s) compared, {} regression(s)",
+            self.deltas.len(),
+            n
+        );
+        out
+    }
+
+    /// Machine-readable report (the check.sh artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"tolerance\": {:.4},", self.tolerance);
+        let _ = writeln!(out, "  \"regressions\": {},", self.regressions().len());
+        out.push_str("  \"deltas\": [\n");
+        for (i, d) in self.deltas.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"shape\": \"{}\", \"metric\": \"{}\", \"baseline\": {:.1}, \
+                 \"current\": {:.1}, \"change_pct\": {:.2}, \"regressed\": {}}}",
+                d.shape.replace('"', "\\\""),
+                d.metric,
+                d.baseline,
+                d.current,
+                d.change_pct,
+                d.regressed
+            );
+            out.push_str(if i + 1 < self.deltas.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"skipped\": [");
+        let skipped: Vec<String> = self
+            .skipped
+            .iter()
+            .map(|s| format!("\"{}\"", s.replace('"', "\\\"")))
+            .collect();
+        out.push_str(&skipped.join(", "));
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Compare `current` rungs against `baseline` rungs at `tolerance`.
+/// Returns an error when no rung is present on both sides (a gate that
+/// compares nothing must not pass silently).
+pub fn compare(
+    baseline: &[RungMetrics],
+    current: &[RungMetrics],
+    tolerance: f64,
+) -> Result<CompareReport, String> {
+    let mut deltas = Vec::new();
+    let mut skipped = Vec::new();
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.shape == cur.shape) else {
+            skipped.push(cur.shape.clone());
+            continue;
+        };
+        push_delta(
+            &mut deltas,
+            cur,
+            "construct_nodes_per_s",
+            base.construct_nodes_per_s,
+            cur.construct_nodes_per_s,
+            Direction::HigherIsBetter,
+            tolerance,
+        );
+        push_delta(
+            &mut deltas,
+            cur,
+            "metrics_hops_per_s",
+            base.metrics_hops_per_s,
+            cur.metrics_hops_per_s,
+            Direction::HigherIsBetter,
+            tolerance,
+        );
+        push_delta(
+            &mut deltas,
+            cur,
+            "peak_rss_kb",
+            base.peak_rss_kb as f64,
+            cur.peak_rss_kb as f64,
+            Direction::LowerIsBetter,
+            tolerance,
+        );
+    }
+    for base in baseline {
+        if !current.iter().any(|c| c.shape == base.shape) {
+            skipped.push(base.shape.clone());
+        }
+    }
+    if deltas.is_empty() {
+        return Err(format!(
+            "no rung appears in both baseline and current run \
+             (baseline: {:?}, current: {:?})",
+            baseline.iter().map(|r| &r.shape).collect::<Vec<_>>(),
+            current.iter().map(|r| &r.shape).collect::<Vec<_>>()
+        ));
+    }
+    Ok(CompareReport {
+        tolerance,
+        deltas,
+        skipped,
+    })
+}
+
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+fn push_delta(
+    deltas: &mut Vec<Delta>,
+    rung: &RungMetrics,
+    metric: &'static str,
+    baseline: f64,
+    current: f64,
+    dir: Direction,
+    tolerance: f64,
+) {
+    // A zero/absent baseline (pre-RSS platforms, older docs) can't be
+    // compared meaningfully — record the delta but never flag it.
+    if baseline <= 0.0 {
+        deltas.push(Delta {
+            shape: rung.shape.clone(),
+            metric,
+            baseline,
+            current,
+            change_pct: 0.0,
+            regressed: false,
+        });
+        return;
+    }
+    let (change_pct, regressed) = match dir {
+        Direction::HigherIsBetter => {
+            let change = (current - baseline) / baseline;
+            (change * 100.0, current < baseline * (1.0 - tolerance))
+        }
+        Direction::LowerIsBetter => {
+            // Oriented so negative is worse: RSS growth is negative change.
+            let change = (baseline - current) / baseline;
+            (change * 100.0, current > baseline * (1.0 + tolerance))
+        }
+    };
+    deltas.push(Delta {
+        shape: rung.shape.clone(),
+        metric,
+        baseline,
+        current,
+        change_pct,
+        regressed,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rung(shape: &str, c: f64, m: f64, rss: u64) -> RungMetrics {
+        RungMetrics {
+            shape: shape.to_owned(),
+            construct_nodes_per_s: c,
+            metrics_hops_per_s: m,
+            peak_rss_kb: rss,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![rung("16x16x16", 1e6, 2e6, 5000)];
+        let rep = compare(&base, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(rep.regressions().is_empty(), "{}", rep.to_text());
+        assert_eq!(rep.deltas.len(), 3);
+    }
+
+    #[test]
+    fn twenty_percent_throughput_drop_fails() {
+        let base = vec![rung("16x16x16", 1e6, 2e6, 5000)];
+        let cur = vec![rung("16x16x16", 0.8e6, 2e6, 5000)];
+        let rep = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        let regs = rep.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "construct_nodes_per_s");
+        assert!(regs[0].change_pct < -19.0);
+    }
+
+    #[test]
+    fn within_tolerance_wobble_passes() {
+        let base = vec![rung("16x16x16", 1e6, 2e6, 5000)];
+        let cur = vec![rung("16x16x16", 0.9e6, 1.9e6, 5400)];
+        let rep = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(rep.regressions().is_empty(), "{}", rep.to_text());
+    }
+
+    #[test]
+    fn rss_growth_is_a_regression() {
+        let base = vec![rung("16x16x16", 1e6, 2e6, 5000)];
+        let cur = vec![rung("16x16x16", 1e6, 2e6, 7000)];
+        let rep = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        let regs = rep.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "peak_rss_kb");
+        assert!(regs[0].change_pct < 0.0, "growth reports as negative");
+    }
+
+    #[test]
+    fn improvements_never_flag() {
+        let base = vec![rung("16x16x16", 1e6, 2e6, 5000)];
+        let cur = vec![rung("16x16x16", 5e6, 9e6, 100)];
+        let rep = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(rep.regressions().is_empty());
+    }
+
+    #[test]
+    fn quick_run_compares_the_intersection() {
+        let base = vec![
+            rung("16x16x16", 1e6, 2e6, 5000),
+            rung("64x64x64", 3e6, 4e6, 90000),
+        ];
+        let cur = vec![rung("16x16x16", 1e6, 2e6, 5000)];
+        let rep = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(rep.deltas.len(), 3);
+        assert_eq!(rep.skipped, vec!["64x64x64".to_owned()]);
+    }
+
+    #[test]
+    fn disjoint_runs_error() {
+        let base = vec![rung("8x8x8", 1e6, 2e6, 5000)];
+        let cur = vec![rung("16x16x16", 1e6, 2e6, 5000)];
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn zero_baseline_rss_never_flags() {
+        let base = vec![rung("16x16x16", 1e6, 2e6, 0)];
+        let cur = vec![rung("16x16x16", 1e6, 2e6, 123_456)];
+        let rep = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(rep.regressions().is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let doc = r#"{
+          "bench": "BENCH_3",
+          "threads": 1,
+          "host_cores": 1,
+          "parallel_backend": "shim-sequential",
+          "rungs": [
+            {"shape": "16x16x16", "construct_nodes_per_s": 123456.7,
+             "metrics_hops_per_s": 891011.1, "peak_rss_kb": 4242}
+          ]
+        }"#;
+        let base = load_baseline(doc).unwrap();
+        assert_eq!(base.threads, 1);
+        assert_eq!(base.parallel_backend.as_deref(), Some("shim-sequential"));
+        assert_eq!(base.rungs.len(), 1);
+        assert_eq!(base.rungs[0].shape, "16x16x16");
+        assert_eq!(base.rungs[0].peak_rss_kb, 4242);
+        let rep = compare(&base.rungs, &base.rungs, DEFAULT_TOLERANCE).unwrap();
+        assert!(rep.regressions().is_empty());
+        // The JSON artifact parses back.
+        assert!(parse_json(&rep.to_json()).is_ok());
+    }
+
+    #[test]
+    fn missing_fields_are_an_error() {
+        assert!(load_baseline("not json").is_err());
+        assert!(load_baseline("{\"bench\": \"BENCH_3\"}").is_err());
+    }
+}

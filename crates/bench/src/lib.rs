@@ -1,6 +1,15 @@
-//! Shared helpers for the cubemesh benchmarks and the `figures`
-//! regeneration binary. The real content lives in `benches/` and
-//! `src/bin/figures.rs`.
+//! Shared helpers for the cubemesh benchmarks, the `figures`
+//! regeneration binary, and the `cubemesh-bench` perf-trajectory gate.
+//! The timing ladders live in `benches/` and `src/bin/`; this crate
+//! holds the bench-history comparison ([`compare`]) the check.sh gate
+//! runs against `BENCH_3.json`.
+
+pub mod compare;
+
+pub use compare::{
+    compare as compare_rungs, load_baseline, Baseline, CompareReport, Delta, RungMetrics,
+    DEFAULT_TOLERANCE,
+};
 
 /// Format a percentage with one decimal, paper-style.
 pub fn pct(x: f64) -> String {

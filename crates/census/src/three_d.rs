@@ -129,6 +129,21 @@ pub fn census_3d(n: u32) -> ThreeDCensus {
     progress.finish();
     let total = (limit as u64).pow(3);
     debug_assert_eq!(by_method.iter().sum::<u64>() + uncovered, total);
+    // Trace gauges at dispatch-complete: one sample per method (not per
+    // shape — the census visits millions), so a trace shows the method
+    // mix of each census run without drowning in events.
+    for (name, &count) in [
+        "census.method.m1",
+        "census.method.m2",
+        "census.method.m3",
+        "census.method.m4",
+    ]
+    .iter()
+    .zip(&by_method)
+    {
+        obs::trace::gauge(name, count);
+    }
+    obs::trace::gauge("census.uncovered", uncovered);
     ThreeDCensus {
         n,
         total,

@@ -3,6 +3,7 @@
 use crate::plan::{reduce, Plan};
 use crate::product::mesh_product_embedding;
 use cubemesh_embedding::{gray_mesh_embedding, Embedding, MeshEdgeView};
+use cubemesh_obs as obs;
 use cubemesh_search::catalog_embedding;
 use cubemesh_topology::Shape;
 
@@ -14,6 +15,9 @@ use cubemesh_topology::Shape;
 /// Theorem 3 bounds — property-checked in the crate tests rather than here
 /// (construction is hot in censuses).
 pub fn construct(shape: &Shape, plan: &Plan) -> Embedding {
+    // One span per top-level lowering; the product recursion shows up as
+    // nested `product.map` / `product.routes` children in a trace.
+    let _span = obs::span!("construct");
     let reduced = reduce(shape);
     let emb = construct_reduced(&reduced, plan);
     lift(emb, shape)

@@ -40,9 +40,10 @@ pub enum Plan {
 impl Plan {
     /// Host-cube dimension this plan produces for `shape`.
     ///
-    /// # Panics
-    /// Panics if a `Direct` node names a shape absent from the catalog
-    /// (a malformed plan tree; planner output never is).
+    /// A `Direct` node whose shape is absent from the catalog (a
+    /// malformed plan tree; planner output never is) falls back to the
+    /// minimal cube dimension, which is where every catalog embedding
+    /// lands anyway.
     pub fn host_dim(&self, shape: &Shape) -> u32 {
         match self {
             Plan::Gray => shape.gray_cube_dim(),
@@ -50,7 +51,7 @@ impl Plan {
                 let reduced = reduce(shape);
                 catalog_lookup(&reduced)
                     .map(|(e, _)| e.host_dim)
-                    .expect("Direct plan for a shape missing from the catalog")
+                    .unwrap_or_else(|| reduced.minimal_cube_dim())
             }
             Plan::Product { f1, p1, f2, p2 } => p1.host_dim(f1) + p2.host_dim(f2),
         }

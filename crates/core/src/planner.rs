@@ -109,6 +109,10 @@ impl Planner {
 
     /// Plan a minimal-expansion, dilation-≤2 embedding for `shape`.
     pub fn plan(&mut self, shape: &Shape) -> Option<Plan> {
+        // Rules recurse through `plan` itself; only the outermost call
+        // opens a trace span, so a query shows up as one `planner.plan`
+        // with rule-hit instants nested inside it.
+        let _span = (self.depth == 0).then(|| obs::span!("planner.plan"));
         let reduced = reduce(shape);
         let result = self.plan_dims(reduced.dims().to_vec());
         // Rules recurse through `plan` itself; only the outermost call
@@ -122,6 +126,13 @@ impl Planner {
     /// `true` if the planner covers `shape`.
     pub fn covers(&mut self, shape: &Shape) -> bool {
         self.plan(shape).is_some()
+    }
+
+    /// Tally a rule hit; when tracing is on, also drop an instant event
+    /// so the trace shows *which* rule resolved each (sub)shape.
+    fn rule_hit(&mut self, r: usize) {
+        self.stats.hits[r] += 1;
+        obs::trace::instant("planner.rule.hit", rule::NAMES[r]);
     }
 
     fn plan_dims(&mut self, dims: Vec<usize>) -> Option<Plan> {
@@ -189,25 +200,25 @@ impl Planner {
         // 1. Gray.
         self.stats.attempts[rule::GRAY] += 1;
         if shape.gray_is_minimal() {
-            self.stats.hits[rule::GRAY] += 1;
+            self.rule_hit(rule::GRAY);
             return Some(Plan::Gray);
         }
         // 2. Direct, exact…
         self.stats.attempts[rule::DIRECT] += 1;
         if catalog_lookup(&shape).is_some() {
-            self.stats.hits[rule::DIRECT] += 1;
+            self.rule_hit(rule::DIRECT);
             return Some(Plan::Direct);
         }
         // …or by extension into a catalog shape with the same cube.
         self.stats.attempts[rule::DIRECT_EXT] += 1;
         if let Some(plan) = self.direct_extension(&shape, total) {
-            self.stats.hits[rule::DIRECT_EXT] += 1;
+            self.rule_hit(rule::DIRECT_EXT);
             return Some(plan);
         }
         // 3. Peel powers of two.
         self.stats.attempts[rule::PEEL_POW2] += 1;
         if let Some(plan) = self.peel_pow2(&shape, total) {
-            self.stats.hits[rule::PEEL_POW2] += 1;
+            self.rule_hit(rule::PEEL_POW2);
             return Some(plan);
         }
         match dims.len() {
@@ -288,7 +299,7 @@ impl Planner {
                     Shape::new(&[lp, la])
                 };
                 if let Some(p1) = self.plan(&piece) {
-                    self.stats.hits[rule::AXIS_SPLIT] += 1;
+                    self.rule_hit(rule::AXIS_SPLIT);
                     let f2 = if axis == 1 {
                         Shape::new(&[1, ls])
                     } else {
@@ -315,7 +326,7 @@ impl Planner {
         //    extension).
         self.stats.attempts[rule::CATALOG_PRODUCT] += 1;
         if let Some(plan) = self.catalog_product3(shape, total) {
-            self.stats.hits[rule::CATALOG_PRODUCT] += 1;
+            self.rule_hit(rule::CATALOG_PRODUCT);
             return Some(plan);
         }
 
@@ -335,7 +346,7 @@ impl Planner {
             }
             let pair = Shape::new(&[l[a], l[b]]);
             if let Some(p1) = self.plan(&pair) {
-                self.stats.hits[rule::PAIR_GRAY] += 1;
+                self.rule_hit(rule::PAIR_GRAY);
                 let mut f1 = vec![1usize; 3];
                 f1[a] = l[a];
                 f1[b] = l[b];
@@ -374,7 +385,7 @@ impl Planner {
                         Shape::new(&[l[b], ls])
                     };
                     if let (Some(p1), Some(p2)) = (self.plan(&piece1), self.plan(&piece2)) {
-                        self.stats.hits[rule::AXIS_SPLIT] += 1;
+                        self.rule_hit(rule::AXIS_SPLIT);
                         let mut f1 = vec![1usize; 3];
                         f1[a] = l[a];
                         f1[j] = lp;
@@ -467,7 +478,7 @@ impl Planner {
                 continue;
             }
             if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
-                self.stats.hits[rule::BIPARTITION] += 1;
+                self.rule_hit(rule::BIPARTITION);
                 return Some(Plan::Product {
                     f1: s1,
                     p1: Box::new(p1),
@@ -503,7 +514,7 @@ impl Planner {
                         continue;
                     }
                     if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
-                        self.stats.hits[rule::AXIS_SPLIT] += 1;
+                        self.rule_hit(rule::AXIS_SPLIT);
                         return Some(Plan::Product {
                             f1: s1,
                             p1: Box::new(p1),

@@ -77,7 +77,9 @@ pub fn metrics_seq(e: &Embedding) -> Metrics {
 /// exactly with [`metrics_seq`].
 pub fn metrics_par(e: &Embedding) -> Metrics {
     let _span = obs::span!("metrics.par");
-    dil_cong_dispatch(e, rayon::current_num_threads().max(2))
+    let parts = rayon::current_num_threads().max(2);
+    obs::trace::gauge("metrics.shards", parts as u64);
+    dil_cong_dispatch(e, parts)
 }
 
 fn dil_cong_dispatch(e: &Embedding, parts: usize) -> Metrics {

@@ -176,6 +176,7 @@ pub fn verify_many_to_one_par(e: &Embedding) -> Result<(), VerifyError> {
     let _span = obs::span!("verify.par");
     check_addresses(e)?;
     let parts = rayon::current_num_threads().max(2);
+    obs::trace::gauge("verify.shards", parts as u64);
     let chunks = e.edges().chunks(parts);
     let results: Vec<Result<(), VerifyError>> = chunks
         .into_par_iter()

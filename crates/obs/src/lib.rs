@@ -19,6 +19,12 @@
 //! * a process-global named-metric registry behind the [`counter!`],
 //!   [`histogram!`] and [`span!`] macros, snapshot-able at any point as
 //!   human text or JSON ([`snapshot`], [`Snapshot`]).
+//! * [`trace`] — hierarchical causal tracing: the same [`span!`] call
+//!   sites additionally emit begin/end events with parent/child span
+//!   ids into per-thread buffers, drained into Chrome `trace_event`
+//!   JSON, folded flamegraph stacks and a stable-schema JSONL log.
+//!   Independently gated by [`trace::set_enabled`] (the `--trace` CLI
+//!   flags), so stats and tracing compose freely.
 //!
 //! # Enabling
 //!
@@ -46,9 +52,10 @@ mod progress;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use json::{parse as parse_json, JsonValue};
-pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use progress::Progress;
 pub use registry::{counter_named, histogram_named, reset, snapshot, Registry};
 pub use snapshot::Snapshot;

@@ -1,18 +1,29 @@
 //! RAII span timers with a thread-local span stack.
 //!
 //! A [`SpanTimer`] measures the wall-clock time between its construction
-//! and drop and records the elapsed nanoseconds into a histogram named
-//! `span.<path>`, where `<path>` is the `/`-joined chain of enclosing
-//! span names on the current thread (`span.plan/route`, say). Paths are
-//! interned so steady-state recording does not allocate.
+//! and drop. Two independent sinks consume it, each behind its own
+//! zero-cost guard:
+//!
+//! * **Stats** ([`crate::enabled`]): the elapsed nanoseconds are
+//!   recorded into a histogram named `span.<path>`, where `<path>` is
+//!   the `/`-joined chain of enclosing span names on the current thread
+//!   (`span.plan/route`, say). Paths are interned so steady-state
+//!   recording does not allocate.
+//! * **Trace** ([`crate::trace::enabled`]): the open and close become
+//!   [`TraceEvent`](crate::trace::TraceEvent)s carrying a process-unique
+//!   span id and the id of the enclosing span, feeding the Chrome /
+//!   folded-stack / JSONL exports in [`crate::trace`].
 
 use crate::metrics::Histogram;
 use std::cell::RefCell;
 use std::time::Instant;
 
 thread_local! {
-    /// Names of the spans currently open on this thread, outermost first.
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Spans currently open on this thread, outermost first: the name
+    /// (for stats paths) and the trace span id (0 when tracing was off
+    /// at open, so a child opened under a stats-only parent still reads
+    /// parent id 0).
+    static SPAN_STACK: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Resolve the histogram for a span path (exposed for tests; spans
@@ -23,35 +34,65 @@ pub fn span_histogram_named(path: &str) -> &'static Histogram {
 
 /// An RAII wall-clock timer. Construct with [`SpanTimer::new`] (or the
 /// [`span!`](crate::span) macro); the elapsed time is recorded when the
-/// value drops. Inert (records nothing, tracks no stack) while stats are
-/// disabled.
+/// value drops. Inert (records nothing, tracks no stack) while both
+/// stats and tracing are disabled.
 pub struct SpanTimer {
     start: Option<Instant>,
     hist: Option<&'static Histogram>,
+    /// Trace span id, 0 when tracing was disabled at open.
+    trace_id: u64,
+    /// Did `new` push a stack frame (and so must `drop` pop it)?
+    pushed: bool,
 }
 
 impl SpanTimer {
     /// Open a span named `name`. The name must be a string literal (or
     /// otherwise `'static`) so stack frames never allocate.
     pub fn new(name: &'static str) -> SpanTimer {
-        if !crate::enabled() {
+        let stats = crate::enabled();
+        let tracing = crate::trace::enabled();
+        if !stats && !tracing {
             return SpanTimer {
                 start: None,
                 hist: None,
+                trace_id: 0,
+                pushed: false,
             };
         }
+        let mut trace_id = 0;
+        let mut parent = 0;
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            stack.push(name);
-            stack.join("/")
+            if tracing {
+                trace_id = crate::trace::next_span_id();
+                parent = stack.last().map_or(0, |&(_, id)| id);
+            }
+            stack.push((name, trace_id));
+            if stats {
+                let mut path = String::new();
+                for (i, (frame, _)) in stack.iter().enumerate() {
+                    if i > 0 {
+                        path.push('/');
+                    }
+                    path.push_str(frame);
+                }
+                Some(path)
+            } else {
+                None
+            }
         });
+        if tracing {
+            crate::trace::record_begin(trace_id, parent, name);
+        }
         SpanTimer {
-            start: Some(Instant::now()),
-            hist: Some(crate::histogram_named(&format!("span.{path}"))),
+            start: stats.then(Instant::now),
+            hist: path.map(|p| crate::histogram_named(&format!("span.{p}"))),
+            trace_id,
+            pushed: true,
         }
     }
 
-    /// Elapsed time so far, if the span is live.
+    /// Elapsed time so far, if the span is timing (stats enabled at open).
     pub fn elapsed_ns(&self) -> Option<u64> {
         self.start.map(|s| s.elapsed().as_nanos() as u64)
     }
@@ -59,12 +100,18 @@ impl SpanTimer {
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
+        if !self.pushed {
+            return;
+        }
         if let (Some(start), Some(hist)) = (self.start, self.hist) {
             hist.record(start.elapsed().as_nanos() as u64);
-            SPAN_STACK.with(|stack| {
-                stack.borrow_mut().pop();
-            });
         }
+        if self.trace_id != 0 {
+            crate::trace::record_end(self.trace_id);
+        }
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
     }
 }
 
@@ -125,5 +172,37 @@ mod tests {
         assert!(crate::snapshot()
             .histogram("span.span_test_disabled")
             .is_none());
+    }
+
+    #[test]
+    fn trace_only_spans_balance_the_stack() {
+        // Tracing without stats must still push/pop the stack correctly,
+        // and record no histograms.
+        let _g = crate::testutil::guard();
+        crate::set_enabled(false);
+        crate::trace::reset();
+        crate::trace::set_enabled(true);
+        {
+            let _a = crate::span!("span_test_trace_only");
+            {
+                let _b = crate::span!("span_test_trace_only_inner");
+            }
+        }
+        crate::trace::set_enabled(false);
+        // A later stats-enabled span sees an empty stack (no leaked frames).
+        crate::set_enabled(true);
+        {
+            let _c = crate::span!("span_test_after_trace");
+        }
+        crate::set_enabled(false);
+        let snap = crate::snapshot();
+        assert!(snap.histogram("span.span_test_trace_only").is_none());
+        assert!(
+            snap.histogram("span.span_test_after_trace").is_some(),
+            "path built from a clean stack"
+        );
+        assert_eq!(crate::trace::drain().len(), 4, "two begins, two ends");
+        crate::reset();
+        crate::trace::reset();
     }
 }

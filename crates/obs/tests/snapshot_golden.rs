@@ -1,0 +1,50 @@
+//! Golden-file pin of the [`Snapshot::to_json`] schema.
+//!
+//! Downstream consumers — `scripts/check.sh`, the bench-compare gate,
+//! and any dashboards fed from `--stats-json` output — parse this JSON
+//! by field name. An innocent-looking rename or re-nesting in
+//! `to_json` silently breaks them, so the exact serialized form of a
+//! fixed snapshot is pinned here. If this test fails because the
+//! schema changed *on purpose*, update `tests/golden/snapshot.json`
+//! in the same commit and call out the schema change in the PR.
+
+use cubemesh_obs::{HistogramSnapshot, Snapshot, HIST_BUCKETS};
+
+const GOLDEN: &str = include_str!("golden/snapshot.json");
+
+/// A fixed snapshot covering every schema feature: multiple counters
+/// (key-sorted), a hit/miss pair, and a histogram with sparse buckets.
+fn sample() -> Snapshot {
+    let mut s = Snapshot::default();
+    s.counters.insert("planner.memo.hit".into(), 30);
+    s.counters.insert("planner.memo.miss".into(), 10);
+    s.counters.insert("other".into(), 5);
+    let mut h = HistogramSnapshot {
+        buckets: [0; HIST_BUCKETS],
+        count: 3,
+        sum: 21,
+        min: 1,
+        max: 16,
+    };
+    h.buckets[1] = 1; // lo = 1
+    h.buckets[3] = 1; // lo = 4
+    h.buckets[5] = 1; // lo = 16
+    s.histograms.insert("router.congestion".into(), h);
+    s
+}
+
+#[test]
+fn to_json_matches_golden_file() {
+    assert_eq!(
+        sample().to_json(),
+        GOLDEN.trim_end(),
+        "Snapshot::to_json schema drifted from tests/golden/snapshot.json; \
+         if intentional, regenerate the golden file and flag the schema change"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_same_snapshot() {
+    let back = Snapshot::from_json(GOLDEN.trim_end()).expect("golden file must stay parseable");
+    assert_eq!(back, sample());
+}

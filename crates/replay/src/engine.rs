@@ -361,6 +361,10 @@ pub fn replay(
     let mut windows = Vec::with_capacity(count);
     let mut mean_latencies: Vec<(usize, f64)> = Vec::new();
     for w in 0..count {
+        // Per-window trace span: a traced replay shows one `replay.window`
+        // child per simulated window under `replay.run`, with the window's
+        // queue/occupancy shape as gauge tracks.
+        let _wspan = obs::span!("replay.window");
         let pick = |v: &Vec<u64>| v.get(w).copied().unwrap_or(0);
         let mut sample = observer
             .latencies
@@ -373,6 +377,14 @@ pub fn replay(
             mean_latencies.push((w, sum as f64 / delivered as f64));
         }
         let busy = pick(&observer.busy);
+        let max_queue_depth = pick(&observer.max_queue);
+        let occupancy = busy as f64 / (n_links * window).max(1) as f64;
+        obs::trace::gauge("replay.window.max_queue_depth", max_queue_depth);
+        // Occupancy is a [0,1] ratio; gauges carry u64, so export permille.
+        obs::trace::gauge(
+            "replay.window.occupancy_permille",
+            (occupancy * 1000.0) as u64,
+        );
         windows.push(WindowStats {
             index: w as u64,
             injected: pick(&observer.injected),
@@ -382,9 +394,9 @@ pub fn replay(
             p50_latency: percentile(&mut sample, 50),
             p99_latency: percentile(&mut sample, 99),
             max_latency: sample.last().copied().unwrap_or(0),
-            max_queue_depth: pick(&observer.max_queue),
+            max_queue_depth,
             busy_cycles: busy,
-            occupancy: busy as f64 / (n_links * window).max(1) as f64,
+            occupancy,
         });
     }
     let warmup_windows = mser_warmup(&mean_latencies, count);

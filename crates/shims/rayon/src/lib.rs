@@ -39,6 +39,20 @@ pub fn current_num_threads() -> usize {
     workers()
 }
 
+/// A stable name for the execution backend a parallel region would use
+/// right now. This is a *shim*, not real rayon: with one worker the
+/// region runs inline on the caller ("shim-sequential"); with more it
+/// fans out over `std::thread::scope` with one contiguous chunk per
+/// worker ("shim-scoped-threads"). Benchmarks embed this so baselines
+/// recorded on a 1-core host are not mistaken for work-stealing numbers.
+pub fn backend() -> &'static str {
+    if workers() == 1 {
+        "shim-sequential"
+    } else {
+        "shim-scoped-threads"
+    }
+}
+
 /// Conversion into a (shim) parallel iterator — mirrors
 /// `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {

@@ -40,19 +40,58 @@ cargo run --release -q -p cubemesh-audit -- certify --json --sweep 8 \
 test -s target/audit-certify.json
 echo "wrote target/audit-certify.json"
 
-echo "== bench: quick smoke (JSON emits, parallel == sequential metrics) =="
+echo "== bench: quick smoke + perf-trajectory gate vs BENCH_3.json =="
 # The bench bin exits non-zero if the parallel and sequential engines
-# disagree on any shape, or if the BENCH_4 replay rung violates its
-# congestion certificate. Full ladders stay out of tier-1; --quick runs
-# the small shapes plus one replay point.
+# disagree on any shape, if the BENCH_4 replay rung violates its
+# congestion certificate, or if any compare metric regresses past
+# tolerance against the committed baseline. Full ladders stay out of
+# tier-1; --quick runs the small shapes plus one replay point. The run
+# is traced, and the trace plus the compare report are archived under
+# target/ for inspection.
 mkdir -p target
+# --reps 25: the 16^3 rung is sub-millisecond, so min-of-3 timing is
+# too noisy for a 15% gate; min-of-25 stays within a few percent.
 cargo run --release -q -p cubemesh-bench --bin cubemesh-bench -- \
-    --quick --json --out /tmp/cubemesh_bench_smoke.json \
-    --replay-out target/replay-report.json >/dev/null
-test -s /tmp/cubemesh_bench_smoke.json
+    --quick --reps 25 --json --out target/bench-quick.json \
+    --replay-out target/replay-report.json \
+    --compare BENCH_3.json --compare-out target/bench-compare.json \
+    --trace target/trace-quick.json >/dev/null
+test -s target/bench-quick.json
 test -s target/replay-report.json
-rm -f /tmp/cubemesh_bench_smoke.json
-echo "wrote target/replay-report.json"
+test -s target/bench-compare.json
+test -s target/trace-quick.json
+echo "wrote target/bench-quick.json target/replay-report.json" \
+     "target/bench-compare.json target/trace-quick.json"
+
+echo "== bench: injected-regression self-test (the gate must trip) =="
+# --inject-regression deflates this run's throughput 25%, past the 15%
+# tolerance; the compare gate failing to exit non-zero is itself a
+# failure. Compared against the quick doc written seconds ago (not the
+# committed baseline), so host drift since the baseline was recorded
+# can't eat the injection margin.
+if cargo run --release -q -p cubemesh-bench --bin cubemesh-bench -- \
+    --quick --reps 25 --no-replay --out /tmp/cubemesh_bench_inject.json \
+    --compare target/bench-quick.json --inject-regression >/dev/null 2>&1; then
+    echo "ERROR: injected regression did not trip the compare gate" >&2
+    exit 1
+fi
+rm -f /tmp/cubemesh_bench_inject.json
+echo "compare gate trips on an injected regression, as designed."
+
+echo "== trace: determinism (event sequence stable modulo timestamps) =="
+# Two traced runs of the same embed must produce identical JSONL event
+# sequences once timestamps are stripped (ts_ns is always the last
+# field, so a sed suffices). Single-threaded to pin chunk order.
+RAYON_NUM_THREADS=1 cargo run --release -q --bin cubemesh -- \
+    embed 9 9 9 --trace /tmp/cubemesh_trace_a.json >/dev/null
+RAYON_NUM_THREADS=1 cargo run --release -q --bin cubemesh -- \
+    embed 9 9 9 --trace /tmp/cubemesh_trace_b.json >/dev/null
+sed -E 's/,"ts_ns":[0-9]+//' /tmp/cubemesh_trace_a.jsonl > /tmp/cubemesh_trace_a.seq
+sed -E 's/,"ts_ns":[0-9]+//' /tmp/cubemesh_trace_b.jsonl > /tmp/cubemesh_trace_b.seq
+diff /tmp/cubemesh_trace_a.seq /tmp/cubemesh_trace_b.seq
+rm -f /tmp/cubemesh_trace_{a,b}.json /tmp/cubemesh_trace_{a,b}.folded \
+    /tmp/cubemesh_trace_{a,b}.jsonl /tmp/cubemesh_trace_{a,b}.seq
+echo "traced event sequences identical."
 
 echo "== replay: determinism + conservation smoke =="
 # --check replays the same recorded trace twice and exits non-zero unless
@@ -60,7 +99,7 @@ echo "== replay: determinism + conservation smoke =="
 cargo run --release -q --bin cubemesh -- replay 3 5 --pattern bursty \
     --horizon 64 --seed 9 --record /tmp/cubemesh_replay_smoke.jsonl --check
 cargo run --release -q --bin cubemesh -- replay 3 5 \
-    --trace /tmp/cubemesh_replay_smoke.jsonl --check
+    --trace-in /tmp/cubemesh_replay_smoke.jsonl --check
 rm -f /tmp/cubemesh_replay_smoke.jsonl
 # Slack join: measured dynamic peak must stay within the certificate
 # (non-zero exit on violation).

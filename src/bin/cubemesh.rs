@@ -12,7 +12,7 @@
 //! ```
 //!
 //! `replay` drives the trace-replay subsystem: `--pattern
-//! stencil|shifts|bursty|sweep` picks a synthetic trace (`--trace FILE`
+//! stencil|shifts|bursty|sweep` picks a synthetic trace (`--trace-in FILE`
 //! loads a recorded one instead), `--slack` joins the replay against the
 //! static congestion certificate, `--check` replays twice and fails unless
 //! the reports are byte-identical and every injected message was
@@ -22,7 +22,11 @@
 //! Every subcommand accepts `--stats` to print an instrumentation snapshot
 //! (counters, histograms, span timings) after the run; setting
 //! `CUBEMESH_STATS=text` or `CUBEMESH_STATS=json` does the same without
-//! the flag and selects the output format.
+//! the flag and selects the output format. `--trace FILE` (any subcommand)
+//! records a hierarchical execution trace and writes three exports at
+//! exit: Chrome `trace_event` JSON at FILE (open in Perfetto), folded
+//! flamegraph stacks at FILE.folded, and a stable-schema JSONL event log
+//! at FILE.jsonl.
 
 use cubemesh::core::{classify3, construct, embed_mesh, Planner};
 use cubemesh::embedding::portable::{read_embedding, write_embedding};
@@ -44,9 +48,11 @@ fn main() -> ExitCode {
             obs::set_mode(obs::StatsMode::Text);
         }
     }
+    let trace_out = take_trace_flag(&mut args);
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!(
-            "usage: cubemesh <embed|classify|torus|simulate|census|verify|replay> … [--stats]"
+            "usage: cubemesh <embed|classify|torus|simulate|census|verify|replay> … \
+             [--stats] [--trace FILE]"
         );
         return ExitCode::from(2);
     };
@@ -65,7 +71,37 @@ fn main() -> ExitCode {
     };
     // Text goes to stderr, JSON as one line to stdout; no-op when off.
     obs::report();
+    write_trace(trace_out.as_deref());
     code
+}
+
+/// Pre-scan `--trace FILE` (valid anywhere on the command line), strip it
+/// from `args`, and enable trace collection. Returns the output path.
+fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--trace")?;
+    if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+        eprintln!("--trace requires an output file path");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    obs::trace::set_enabled(true);
+    Some(path)
+}
+
+/// Drain the trace buffers and write the Chrome / folded / JSONL exports
+/// next to `path`. No-op when tracing never ran.
+fn write_trace(path: Option<&str>) {
+    let Some(path) = path else { return };
+    obs::trace::set_enabled(false);
+    let log = obs::trace::drain();
+    match log.write_files(std::path::Path::new(path)) {
+        Ok(paths) => {
+            let names: Vec<String> = paths.iter().map(|p| p.display().to_string()).collect();
+            eprintln!("trace: {} events -> {}", log.len(), names.join(", "));
+        }
+        Err(e) => eprintln!("trace write failed: {}", e),
+    }
 }
 
 fn parse_dims(args: &[String]) -> (Vec<usize>, Vec<(String, String)>) {
@@ -301,7 +337,7 @@ fn replay_cmd(args: &[String]) -> ExitCode {
         eprintln!(
             "usage: cubemesh replay <l1> [l2 …] [--pattern stencil|shifts|bursty|sweep]\n\
              \x20  [--flits N] [--period N] [--phases N] [--horizon N] [--window N]\n\
-             \x20  [--seed N] [--cut-through x] [--trace FILE] [--record FILE]\n\
+             \x20  [--seed N] [--cut-through x] [--trace-in FILE] [--record FILE]\n\
              \x20  [--slack x] [--check x] [--json x]"
         );
         return ExitCode::from(2);
@@ -399,7 +435,7 @@ fn replay_cmd(args: &[String]) -> ExitCode {
     let period: u64 = flag(&flags, "period")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4 * flits as u64);
-    let trace = if let Some(path) = flag(&flags, "trace") {
+    let trace = if let Some(path) = flag(&flags, "trace-in") {
         let f = match std::fs::File::open(path) {
             Ok(f) => f,
             Err(e) => {
