@@ -1,0 +1,239 @@
+//! Lock/atomic discipline: `CM-A006` / `CM-A007`.
+//!
+//! * **`CM-A006`** — `Ordering::Relaxed` (or an imported bare `Relaxed`)
+//!   in library code outside a *documented relaxed domain*. Relaxed
+//!   atomics are fine for monotonic stat counters read after join, and
+//!   wrong almost everywhere else; a file opts in with a named
+//!   annotation comment:
+//!
+//!   ```text
+//!   //! audit: relaxed-domain(stat counters): totals are read after join
+//!   ```
+//!
+//!   The domain name in parentheses is mandatory — the gate refuses
+//!   anonymous waivers — and the annotation covers only its own file.
+//!
+//! * **`CM-A007`** — lock-order consistency: if one function acquires
+//!   `a.lock()` then `b.lock()` and another acquires `b` then `a`, the
+//!   pair can deadlock under a work-stealing pool. Acquisition order is
+//!   approximated by textual order of `.lock()` receivers within each
+//!   function body (first acquisition wins; receivers are `a.b` chain
+//!   bases).
+
+use super::{Code, Finding};
+use crate::ast::{File, Workspace};
+use crate::callgraph::CallGraph;
+use crate::lexer::{Delim, TokKind};
+
+/// Run both ordering passes.
+pub fn check(ws: &Workspace, _cg: &CallGraph, findings: &mut Vec<Finding>) {
+    check_relaxed(ws, findings);
+    check_lock_order(ws, findings);
+}
+
+/// Does the file carry a named `audit: relaxed-domain(…)` annotation?
+fn relaxed_domain(file: &File) -> bool {
+    for t in &file.tokens {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let text = t.text(&file.src);
+        if let Some(pos) = text.find("audit: relaxed-domain(") {
+            let rest = &text[pos + "audit: relaxed-domain(".len()..];
+            if let Some(close) = rest.find(')') {
+                if !rest[..close].trim().is_empty() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// A006 — `Relaxed` memory ordering outside documented domains.
+fn check_relaxed(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if relaxed_domain(file) {
+            continue;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            if !t.is_code() || t.kind != TokKind::Ident || !file.is(i, "Relaxed") {
+                continue;
+            }
+            if file.in_tests(t.span.start) || file.in_macro_def(t.span.start) {
+                continue;
+            }
+            findings.push(Finding {
+                code: Code::RelaxedOrdering,
+                file: file.label.clone(),
+                line: t.line,
+                message: "Ordering::Relaxed outside a documented relaxed domain \
+                          (annotate the file with `audit: relaxed-domain(name)` \
+                          if this is a stat/trace counter read after join)"
+                    .to_owned(),
+                path: Vec::new(),
+            });
+        }
+    }
+}
+
+/// A007 — inconsistent lock acquisition order across functions.
+fn check_lock_order(ws: &Workspace, findings: &mut Vec<Finding>) {
+    // Per function: lock receivers in first-acquisition order.
+    let mut acq: Vec<(usize, Vec<(String, u32)>)> = Vec::new();
+    for (fi, f) in ws.lib_fns() {
+        let file = &ws.files[f.file];
+        let mut locks: Vec<(String, u32)> = Vec::new();
+        for i in f.body.start..f.body.end.min(file.tokens.len()) {
+            let t = &file.tokens[i];
+            if !t.is_code() || t.kind != TokKind::Ident || !file.is(i, "lock") {
+                continue;
+            }
+            let Some(dot) = file.prev_code(i).filter(|&p| file.is(p, ".")) else {
+                continue;
+            };
+            let called = file
+                .next_code(i + 1)
+                .map(|n| file.tokens[n].kind == TokKind::Open(Delim::Paren))
+                .unwrap_or(false);
+            if !called {
+                continue;
+            }
+            let Some(base) = chain_base(file, dot, f.body.start) else {
+                continue;
+            };
+            if !locks.iter().any(|(n, _)| n == &base) {
+                locks.push((base, t.line));
+            }
+        }
+        if locks.len() >= 2 {
+            acq.push((fi, locks));
+        }
+    }
+    // Pairwise order conflicts.
+    let mut seen_pairs: Vec<(String, String)> = Vec::new();
+    for a in 0..acq.len() {
+        for b in a + 1..acq.len() {
+            let (fa, la) = &acq[a];
+            let (fb, lb) = &acq[b];
+            for (i1, (x, _)) in la.iter().enumerate() {
+                for (y, _) in la.iter().skip(i1 + 1) {
+                    // `fa` acquires x before y; does `fb` do y before x?
+                    let px = lb.iter().position(|(n, _)| n == x);
+                    let py = lb.iter().position(|(n, _)| n == y);
+                    if let (Some(px), Some(py)) = (px, py) {
+                        if py < px {
+                            let key = if x < y {
+                                (x.clone(), y.clone())
+                            } else {
+                                (y.clone(), x.clone())
+                            };
+                            if seen_pairs.contains(&key) {
+                                continue;
+                            }
+                            seen_pairs.push(key);
+                            let f2 = &ws.fns[*fb];
+                            let line = lb[px].1;
+                            findings.push(Finding {
+                                code: Code::LockOrder,
+                                file: ws.files[f2.file].label.clone(),
+                                line,
+                                message: format!(
+                                    "lock order conflict: `{}` acquires `{x}` then `{y}`, \
+                                     `{}` acquires `{y}` then `{x}` — deadlock under \
+                                     contention",
+                                    ws.fns[*fa].qual, f2.qual
+                                ),
+                                path: vec![ws.fns[*fa].qual.clone(), f2.qual.clone()],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full dotted path of an `a.b.c` chain ending at the `.` token
+/// (`s.a.lock()` → `"s.a"`), so two locks behind the same struct stay
+/// distinct.
+fn chain_base(file: &File, dot: usize, floor: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut p = file.prev_code(dot)?;
+    loop {
+        if p < floor || file.tokens[p].kind != TokKind::Ident {
+            break;
+        }
+        parts.push(file.text(p).to_owned());
+        let Some(q) = file.prev_code(p).filter(|&q| q >= floor && file.is(q, ".")) else {
+            break;
+        };
+        p = match file.prev_code(q) {
+            Some(x) => x,
+            None => break,
+        };
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::analyze_str;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        analyze_str(src).iter().map(|f| f.code.as_str()).collect()
+    }
+
+    #[test]
+    fn relaxed_without_domain_is_a006() {
+        let c = codes(
+            "use std::sync::atomic::{AtomicU64, Ordering};\n\
+             fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n",
+        );
+        assert!(c.contains(&"CM-A006"), "{c:?}");
+    }
+
+    #[test]
+    fn relaxed_domain_annotation_exempts_file() {
+        let c = codes(
+            "//! audit: relaxed-domain(stat counters): read only after join\n\
+             use std::sync::atomic::{AtomicU64, Ordering};\n\
+             fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n",
+        );
+        assert!(c.is_empty(), "{c:?}");
+    }
+
+    #[test]
+    fn anonymous_relaxed_domain_is_void() {
+        let c = codes(
+            "//! audit: relaxed-domain()\n\
+             use std::sync::atomic::{AtomicU64, Ordering};\n\
+             fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n",
+        );
+        assert!(c.contains(&"CM-A006"), "{c:?}");
+    }
+
+    #[test]
+    fn opposite_lock_order_is_a007() {
+        let c = codes(
+            "use std::sync::Mutex;\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             fn one(s: &S) { let _x = s.a.lock(); let _y = s.b.lock(); }\n\
+             fn two(s: &S) { let _y = s.b.lock(); let _x = s.a.lock(); }\n",
+        );
+        assert!(c.contains(&"CM-A007"), "{c:?}");
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let c = codes(
+            "use std::sync::Mutex;\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             fn one(s: &S) { let _x = s.a.lock(); let _y = s.b.lock(); }\n\
+             fn two(s: &S) { let _x = s.a.lock(); let _y = s.b.lock(); }\n",
+        );
+        assert!(c.is_empty(), "{c:?}");
+    }
+}

@@ -1,8 +1,15 @@
 //! The `cubemesh-audit` gate binary.
 //!
 //! ```text
-//! cubemesh-audit lint [--root DIR] [--allowlist FILE]
+//! cubemesh-audit lint [--json] [--root DIR] [--allowlist FILE]
 //!     Run the workspace lints; print violations; exit 1 on any.
+//!     --json emits the shared cubemesh-audit-diag/v1 schema.
+//! cubemesh-audit analyze [--json] [--root DIR]
+//!     Run the interprocedural concurrency/determinism analyzer
+//!     (CM-A001..A008): worker-capture escapes, non-deterministic
+//!     reductions, lock/atomic discipline, span-stack balance. Exit 1
+//!     on any finding; each finding carries call-path evidence from
+//!     the fan-out site to the sink.
 //! cubemesh-audit certify [--json] [--sweep N] [L1 [L2 L3]]
 //!     Certify shapes and report certificate vs proven floor per
 //!     figure of merit. With explicit extents, one shape; with
@@ -58,11 +65,14 @@ fn main() -> ExitCode {
         None => None,
     };
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: cubemesh-audit <lint|certify|selfcheck> ... [--stats] [--trace FILE]");
+        eprintln!(
+            "usage: cubemesh-audit <lint|analyze|certify|selfcheck> ... [--stats] [--trace FILE]"
+        );
         return ExitCode::from(2);
     };
     let code = match cmd.as_str() {
         "lint" => cmd_lint(rest),
+        "analyze" => cmd_analyze(rest),
         "certify" => cmd_certify(rest),
         "selfcheck" => cmd_selfcheck(rest),
         other => {
@@ -94,6 +104,7 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_owned()));
+    let json = args.iter().any(|a| a == "--json");
     let allow_path = flag_value(args, "--allowlist")
         .map(PathBuf::from)
         .unwrap_or_else(|| root.join("audit-allowlist.txt"));
@@ -105,17 +116,71 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         }
     };
     let entries = allow.len();
+    let started = std::time::Instant::now();
     match lint_workspace(&root, allow) {
-        Ok(violations) if violations.is_empty() => {
-            println!("audit lint: clean ({entries} allowlist entries)");
-            ExitCode::SUCCESS
-        }
         Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
+            if json {
+                let mut files = Vec::new();
+                let nfiles = cubemesh_audit::lint::walk_lib_sources(&root, &mut files)
+                    .map(|_| files.len())
+                    .unwrap_or(0);
+                println!(
+                    "{}",
+                    cubemesh_audit::lint::lint_report_json(
+                        &violations,
+                        nfiles,
+                        entries,
+                        started.elapsed().as_millis(),
+                    )
+                );
+            } else if violations.is_empty() {
+                println!("audit lint: clean ({entries} allowlist entries)");
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("audit lint: {} violation(s)", violations.len());
             }
-            println!("audit lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cubemesh-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_owned()));
+    let json = args.iter().any(|a| a == "--json");
+    match cubemesh_audit::Analysis::run_root(&root) {
+        Ok(analysis) => {
+            if json {
+                println!("{}", analysis.to_json());
+            } else {
+                for f in &analysis.findings {
+                    println!("{f}");
+                }
+                println!(
+                    "audit analyze: {} finding(s) | {} files, {} functions, {} parallel \
+                     regions, {} suppression(s) | {} ms",
+                    analysis.findings.len(),
+                    analysis.files,
+                    analysis.functions,
+                    analysis.regions,
+                    analysis.suppressions,
+                    analysis.elapsed_ms
+                );
+            }
+            if analysis.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("cubemesh-audit: {e}");

@@ -1,0 +1,284 @@
+//! Workspace function call graph over the [`crate::ast`] symbol table.
+//!
+//! Edges are found by scanning each function body for call-shaped token
+//! sequences — `name(`, `name::<T>(`, `path::name(`, `.method(` — and
+//! resolving the called name against every workspace function with that
+//! bare name. Resolution is deliberately *may-call* (one name may link
+//! to several candidates, e.g. two `new`s in different impls): the
+//! analysis passes that ride the graph prove *absence* of bad paths, so
+//! over-approximating edges keeps them sound, never unsound.
+//!
+//! Named closures are first-class nodes (see [`crate::ast`]), so a
+//! worker closure that calls `gather(lo, hi)` — a closure bound two
+//! lines up — is followed interprocedurally like any function call.
+
+use crate::ast::{FnItem, Workspace};
+use crate::lexer::{Delim, TokKind};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee candidates (indices into `Workspace::fns`).
+    pub callees: Vec<usize>,
+    /// Token index of the callee name in the caller's file.
+    pub tok: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// The call graph: per-function outgoing call sites.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `calls[f]` — call sites inside `Workspace::fns[f]`.
+    pub calls: Vec<Vec<CallSite>>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the may-call graph for a parsed workspace.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let mut calls = Vec::with_capacity(ws.fns.len());
+        for f in &ws.fns {
+            calls.push(scan_calls(ws, f, &by_name));
+        }
+        CallGraph { calls, by_name }
+    }
+
+    /// Functions with the given bare name.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Breadth-first search from `roots` for the first function
+    /// satisfying `hit`. Returns the path of function indices from a
+    /// root to (and including) the hit, or `None`.
+    ///
+    /// Closure nodes of *other* functions are not traversed unless
+    /// called by name; test functions never participate.
+    pub fn find_path(
+        &self,
+        ws: &Workspace,
+        roots: &[usize],
+        hit: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        let mut parent: HashMap<usize, Option<usize>> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, None).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            if hit(f) {
+                let mut path = vec![f];
+                let mut cur = f;
+                while let Some(Some(p)) = parent.get(&cur) {
+                    path.push(*p);
+                    cur = *p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for site in &self.calls[f] {
+                for &c in &site.callees {
+                    if ws.fns[c].in_tests {
+                        continue;
+                    }
+                    if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(c) {
+                        e.insert(Some(f));
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// All functions reachable from `roots` (inclusive), skipping test
+    /// functions.
+    pub fn reachable(&self, ws: &Workspace, roots: &[usize]) -> Vec<usize> {
+        let mut seen: Vec<bool> = vec![false; self.calls.len()];
+        let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+        for &r in roots {
+            seen[r] = true;
+        }
+        let mut out = Vec::new();
+        while let Some(f) = queue.pop_front() {
+            out.push(f);
+            for site in &self.calls[f] {
+                for &c in &site.callees {
+                    if !seen[c] && !ws.fns[c].in_tests {
+                        seen[c] = true;
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALLS: [&str; 8] = ["if", "while", "for", "match", "return", "in", "loop", "fn"];
+
+fn scan_calls(ws: &Workspace, f: &FnItem, by_name: &HashMap<String, Vec<usize>>) -> Vec<CallSite> {
+    let file = &ws.files[f.file];
+    let mut out = Vec::new();
+    let Range { start, end } = f.body;
+    let mut i = start;
+    while i < end.min(file.tokens.len()) {
+        let t = &file.tokens[i];
+        if t.is_code() && t.kind == TokKind::Ident {
+            let name = file.text(i);
+            if !NON_CALLS.contains(&name) {
+                if let Some(j) = file.next_code(i + 1) {
+                    // `name(` or `name::<…>(`: a call. A `name!(` is a
+                    // macro — skipped (macros of interest are handled
+                    // pattern-wise by the passes).
+                    let direct = file.tokens[j].kind == TokKind::Open(Delim::Paren);
+                    if direct || (file.is(j, ":") && turbofish_call(file, j, end)) {
+                        if let Some(cands) = by_name.get(name) {
+                            // Resolve: every same-named fn. Don't link a
+                            // closure defined in a *different* function.
+                            let callees: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|&c| {
+                                    let cand = &ws.fns[c];
+                                    !cand.is_closure
+                                        || (cand.file == f.file
+                                            && f.body.start <= cand.body.start
+                                            && cand.body.end <= f.body.end.max(cand.body.end))
+                                })
+                                .collect();
+                            if !callees.is_empty() {
+                                out.push(CallSite {
+                                    callees,
+                                    tok: i,
+                                    line: t.line,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// After `name`, does `::<…>(` or `::sub` ultimately form a call whose
+/// final segment is this name? We only need the common `name::<T>(`
+/// turbofish shape; `path::name(` resolves at the *last* segment when
+/// the scanner reaches it, so intermediate segments return false here.
+fn turbofish_call(file: &crate::ast::File, colon_tok: usize, end: usize) -> bool {
+    // Expect `:` `:` `<` … `>` `(`.
+    let mut j = colon_tok;
+    let mut colons = 0;
+    while j < end && file.tokens[j].is_code() && file.is(j, ":") {
+        colons += 1;
+        j = match file.next_code(j + 1) {
+            Some(k) => k,
+            None => return false,
+        };
+    }
+    if colons != 2 || !file.is(j, "<") {
+        return false;
+    }
+    let mut angle = 0i32;
+    while j < end {
+        if file.tokens[j].is_code() {
+            if file.is(j, "<") {
+                angle += 1;
+            } else if file.is(j, ">") {
+                angle -= 1;
+                if angle == 0 {
+                    return file
+                        .next_code(j + 1)
+                        .map(|k| file.tokens[k].kind == TokKind::Open(Delim::Paren))
+                        .unwrap_or(false);
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> (Workspace, CallGraph) {
+        let mut ws = Workspace::default();
+        ws.add_file("lib.rs", src.to_owned());
+        let cg = CallGraph::build(&ws);
+        (ws, cg)
+    }
+
+    fn idx(ws: &Workspace, name: &str) -> usize {
+        ws.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn direct_calls_link() {
+        let (ws, cg) = parse("fn a() { b(); }\nfn b() { c::<u32>(); }\nfn c<T>() {}\n");
+        let a = idx(&ws, "a");
+        let b = idx(&ws, "b");
+        let c = idx(&ws, "c");
+        assert!(cg.calls[a].iter().any(|s| s.callees.contains(&b)));
+        assert!(cg.calls[b].iter().any(|s| s.callees.contains(&c)));
+    }
+
+    #[test]
+    fn method_calls_link_by_name() {
+        let (ws, cg) = parse(
+            "struct S;\nimpl S {\n    fn helper(&self) {}\n}\nfn caller(s: &S) { s.helper(); }\n",
+        );
+        let caller = idx(&ws, "caller");
+        let helper = idx(&ws, "helper");
+        assert!(cg.calls[caller].iter().any(|s| s.callees.contains(&helper)));
+    }
+
+    #[test]
+    fn named_closures_are_followed() {
+        let (ws, cg) = parse("fn f() {\n    let gather = |x: u32| x + 1;\n    gather(3);\n}\n");
+        let f = idx(&ws, "f");
+        let gather = idx(&ws, "gather");
+        assert!(cg.calls[f].iter().any(|s| s.callees.contains(&gather)));
+    }
+
+    #[test]
+    fn paths_are_recovered() {
+        let (ws, cg) =
+            parse("fn a() { b(); }\nfn b() { c(); }\nfn c() { leaf(); }\nfn leaf() {}\n");
+        let a = idx(&ws, "a");
+        let leaf = idx(&ws, "leaf");
+        let path = cg.find_path(&ws, &[a], |f| f == leaf).unwrap();
+        let names: Vec<&str> = path.iter().map(|&i| ws.fns[i].name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "leaf"]);
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let (_, cg) = parse("fn only() { if (true) { while (false) {} } }\n");
+        assert!(cg.calls.iter().all(|c| c.is_empty()));
+    }
+
+    #[test]
+    fn test_fns_are_not_traversed() {
+        let (ws, cg) = parse(
+            "fn a() { helper(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { evil(); }\n}\nfn evil() {}\n",
+        );
+        let a = idx(&ws, "a");
+        let evil = idx(&ws, "evil");
+        assert!(cg.find_path(&ws, &[a], |f| f == evil).is_none());
+    }
+}

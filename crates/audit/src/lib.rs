@@ -20,14 +20,28 @@
 //!   narrowing casts on 64-bit cube addresses, no narrowing casts of
 //!   shape-extent products, no allocation inside chunk/shard loops, and
 //!   no shared mutable state in worker-spawning functions.
+//! * [`analyze`] — the interprocedural concurrency/determinism analyzer
+//!   built on a real front end: a lossless Rust [`lexer`], a lightweight
+//!   item/closure parser ([`ast`]) producing a workspace symbol table,
+//!   and a may-call [`callgraph`]. Its passes prove worker closures free
+//!   of captured mutation, interior mutability, and `static mut`
+//!   (`CM-A001`–`A003`), reductions deterministic under chunk reorder
+//!   (`CM-A004`–`A005`), atomics/locks disciplined (`CM-A006`–`A007`),
+//!   and span guards LIFO (`CM-A008`) — each finding carrying call-path
+//!   evidence from the fan-out site to the sink.
 
+pub mod analyze;
+pub mod ast;
 pub mod bounds;
+pub mod callgraph;
 pub mod certificate;
 pub mod crosscheck;
+pub mod lexer;
 pub mod lint;
 pub mod manytoone;
 pub mod torus;
 
+pub use analyze::{Analysis, Code, FanoutApis, Finding};
 pub use bounds::{manytoone_floors, mesh_floors, torus_floors, Floors};
 pub use certificate::{certify, check_plan, dilation_floor, AuditError, Certificate};
 pub use crosscheck::{

@@ -37,12 +37,20 @@
 //!   opened afterwards. Bind the guard to a named placeholder
 //!   (`let _span = span!(…);`) so it lives to the end of the scope.
 //!
-//! The scanner is deliberately lexical, not syntactic: comments, string
-//! literals and char literals are blanked first (so `write!(f, "…expected
-//! {x}")` or a `panic!` mentioned in docs never trips a rule), then
-//! `#[cfg(test)]` items are masked by brace matching, and violations are
-//! attributed to their enclosing `fn` for allowlist lookup. That is
-//! enough precision for a single-workspace gate with zero dependencies.
+//! The rules themselves are line-pattern matchers, but since the
+//! analyzer landed they run over the real token stream: [`lint_source`]
+//! lexes the file with [`crate::lexer`] and matches against its
+//! [`crate::lexer::code_view`] — an offset- and line-identical view of
+//! the source in which every comment and string/char-literal byte is
+//! guaranteed blank *by the lexer*, not by ad-hoc scanning. `#[cfg(test)]`
+//! items are then masked by brace matching and violations are attributed
+//! to their enclosing `fn` for allowlist lookup. The pre-lexer blanking
+//! heuristic survives as [`strip_noncode`], a documented legacy fallback
+//! kept only for regression comparison.
+//!
+//! Every rule carries a stable diagnostic code (`CM-L001`–`CM-L008`),
+//! and `cubemesh-audit lint --json` emits findings in the same
+//! `cubemesh-audit-diag/v1` schema as `analyze --json`.
 
 use std::fmt;
 use std::fs;
@@ -73,9 +81,25 @@ pub enum Rule {
     DroppedSpanGuard,
 }
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+impl Rule {
+    /// Stable diagnostic code, never renumbered (`CM-L001`–`CM-L008`).
+    /// Shares the `CM-` namespace with the analyzer's `CM-A…` codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Rule::PanicInLib => "CM-L001",
+            Rule::NarrowingAddrCast => "CM-L002",
+            Rule::MissingPanicsDoc => "CM-L003",
+            Rule::UnusedAllow => "CM-L004",
+            Rule::ShapeProductOverflow => "CM-L005",
+            Rule::AllocInChunkLoop => "CM-L006",
+            Rule::SharedMutInWorker => "CM-L007",
+            Rule::DroppedSpanGuard => "CM-L008",
+        }
+    }
+
+    /// Human-readable rule slug.
+    pub fn slug(&self) -> &'static str {
+        match self {
             Rule::PanicInLib => "panic-in-lib",
             Rule::NarrowingAddrCast => "narrowing-addr-cast",
             Rule::MissingPanicsDoc => "missing-panics-doc",
@@ -84,8 +108,13 @@ impl fmt::Display for Rule {
             Rule::AllocInChunkLoop => "alloc-in-chunk-loop",
             Rule::SharedMutInWorker => "shared-mut-in-worker",
             Rule::DroppedSpanGuard => "dropped-span-guard",
-        };
-        write!(f, "{name}")
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.slug())
     }
 }
 
@@ -106,10 +135,49 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}: [{} {}] {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.rule,
+            self.message
         )
     }
+}
+
+impl Violation {
+    /// Render as one JSON object in the shared `cubemesh-audit-diag/v1`
+    /// finding schema (same shape as the analyzer's findings; lint
+    /// findings have no call path).
+    pub fn to_json(&self) -> String {
+        crate::analyze::finding_json(
+            self.rule.code(),
+            self.rule.slug(),
+            &self.file,
+            self.line as u32,
+            &self.message,
+            &[],
+        )
+    }
+}
+
+/// Render a full `lint --json` report in the `cubemesh-audit-diag/v1`
+/// schema, mirroring [`crate::analyze::Analysis::to_json`].
+pub fn lint_report_json(
+    violations: &[Violation],
+    files: usize,
+    allowlist: usize,
+    elapsed_ms: u128,
+) -> String {
+    let body: Vec<String> = violations.iter().map(Violation::to_json).collect();
+    format!(
+        "{{\"schema\":\"cubemesh-audit-diag/v1\",\"tool\":\"lint\",\"files\":{},\
+         \"allowlist\":{},\"elapsed_ms\":{},\"findings\":[{}]}}",
+        files,
+        allowlist,
+        elapsed_ms,
+        body.join(",\n ")
+    )
 }
 
 /// One allowlist entry: `path/to/file.rs::function_name`.
@@ -215,7 +283,14 @@ impl Allowlist {
 /// Replace comment bodies, string/char-literal contents and their quotes
 /// with spaces, preserving byte offsets and line breaks, so downstream
 /// passes see only code.
-fn strip_noncode(text: &str) -> String {
+///
+/// **Legacy fallback.** [`lint_source`] now derives its code view from
+/// the real lexer ([`crate::lexer::code_view`]), which handles every
+/// literal form by construction. This hand-rolled scanner is retained
+/// for comparison and as a dependency-free escape hatch; it understands
+/// line/block comments (nested), plain and raw strings, byte strings
+/// (`b"…"`), raw byte strings (`br#"…"#`), and char/byte-char literals.
+pub fn strip_noncode(text: &str) -> String {
     let b = text.as_bytes();
     let mut out = text.as_bytes().to_vec();
     let mut i = 0;
@@ -255,6 +330,21 @@ fn strip_noncode(text: &str) -> String {
                 let end = scan_string(b, i);
                 blank(&mut out, i, end);
                 i = end;
+            }
+            // Byte string `b"…"` / byte char `b'…'`: same bodies as their
+            // unprefixed forms, with the sigil blanked too.
+            b'b' if i + 1 < n && b[i + 1] == b'"' && (i == 0 || !is_ident_byte(b[i - 1])) => {
+                let end = scan_string(b, i + 1);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'b' if i + 1 < n && b[i + 1] == b'\'' && (i == 0 || !is_ident_byte(b[i - 1])) => {
+                if let Some(end) = scan_char_literal(b, i + 1) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
             }
             b'r' | b'b' if is_raw_string_start(b, i) => {
                 let end = scan_raw_string(b, i);
@@ -527,8 +617,14 @@ fn has_panics_doc(original_lines: &[&str], decl_line: usize) -> bool {
 
 /// Lint one library source file. `label` is the repo-relative path used
 /// in reports and allowlist matching.
+///
+/// The code view the line matchers run over comes from the real lexer
+/// ([`crate::lexer::code_view`]): same length and line structure as
+/// `text`, with every comment and string/char-literal byte blanked by
+/// token kind rather than by the legacy [`strip_noncode`] heuristics.
 pub fn lint_source(label: &str, text: &str, allow: &mut Allowlist) -> Vec<Violation> {
-    let clean = strip_noncode(text);
+    let tokens = crate::lexer::lex(text);
+    let clean = crate::lexer::code_view(text, &tokens);
     let (fns, test_ranges) = scan_items(&clean);
     let offsets = line_offsets(&clean);
     let original_lines: Vec<&str> = text.lines().collect();
@@ -915,6 +1011,14 @@ fn lintable(rel: &str) -> bool {
     !parts.iter().any(|p| SKIP.contains(p))
 }
 
+/// Collect every lintable library source under `root` as
+/// `(repo-relative label, absolute path)` pairs. Shared by the lint
+/// driver and the [`crate::analyze`] engine so both see the same file
+/// set.
+pub fn walk_lib_sources(root: &Path, files: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    walk(root, root, files)
+}
+
 fn walk(dir: &Path, root: &Path, files: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -1137,6 +1241,69 @@ mod tests {
         .is_empty());
         // Different macros sharing the suffix are not span guards.
         assert!(lint_str("pub fn f() {\n    my_span!(\"x\");\n}\n").is_empty());
+    }
+
+    #[test]
+    fn byte_strings_do_not_trip_rules() {
+        // Through the live (lexer-backed) path.
+        let src = "pub fn f() -> &'static [u8] {\n    b\"panic!(\\\"x\\\") .unwrap()\"\n}\n\
+                   pub fn g() -> &'static [u8] {\n    br#\"todo! and .expect(\"#\n}\n\
+                   pub fn h() -> u8 {\n    b'!'\n}\n";
+        assert!(lint_str(src).is_empty(), "{:?}", lint_str(src));
+    }
+
+    #[test]
+    fn strip_noncode_blanks_byte_and_raw_byte_strings() {
+        // Regression for the legacy fallback: byte-string bodies must be
+        // blanked so a panic-family pattern inside one can never match.
+        let clean = strip_noncode("let x = b\"panic!(\\\"no\\\")\";\n");
+        assert!(!clean.contains("panic!"), "{clean}");
+        let clean = strip_noncode("let y = br#\".unwrap() todo!\"#;\n");
+        assert!(!clean.contains("unwrap"), "{clean}");
+        assert!(!clean.contains("todo!"), "{clean}");
+        let clean = strip_noncode("let z = b'u'; let w = b'\\n';\n");
+        assert!(!clean.contains("'u'"), "{clean}");
+        // Offsets and newlines are preserved.
+        let src = "a\nb\"x\"\nc\n";
+        let clean = strip_noncode(src);
+        assert_eq!(clean.len(), src.len());
+        assert_eq!(clean.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn rule_codes_are_stable() {
+        // These identifiers are part of the gate's public schema; any
+        // renumbering breaks downstream JSON consumers.
+        assert_eq!(Rule::PanicInLib.code(), "CM-L001");
+        assert_eq!(Rule::NarrowingAddrCast.code(), "CM-L002");
+        assert_eq!(Rule::MissingPanicsDoc.code(), "CM-L003");
+        assert_eq!(Rule::UnusedAllow.code(), "CM-L004");
+        assert_eq!(Rule::ShapeProductOverflow.code(), "CM-L005");
+        assert_eq!(Rule::AllocInChunkLoop.code(), "CM-L006");
+        assert_eq!(Rule::SharedMutInWorker.code(), "CM-L007");
+        assert_eq!(Rule::DroppedSpanGuard.code(), "CM-L008");
+    }
+
+    #[test]
+    fn violation_json_uses_shared_schema() {
+        let v = Violation {
+            file: "crates/x/src/lib.rs".to_owned(),
+            line: 7,
+            rule: Rule::PanicInLib,
+            message: "`unwrap` in non-test library code".to_owned(),
+        };
+        let j = v.to_json();
+        assert!(j.contains("\"code\":\"CM-L001\""), "{j}");
+        assert!(j.contains("\"rule\":\"panic-in-lib\""), "{j}");
+        assert!(j.contains("\"line\":7"), "{j}");
+        assert!(j.contains("\"path\":[]"), "{j}");
+        let report = lint_report_json(&[v], 3, 4, 12);
+        assert!(
+            report.contains("\"schema\":\"cubemesh-audit-diag/v1\""),
+            "{report}"
+        );
+        assert!(report.contains("\"tool\":\"lint\""), "{report}");
+        assert!(report.contains("\"allowlist\":4"), "{report}");
     }
 
     #[test]

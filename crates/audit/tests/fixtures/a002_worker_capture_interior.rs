@@ -1,0 +1,17 @@
+//! Fixture: trips exactly CM-A002 (worker-capture-interior).
+//!
+//! A function reachable from the worker closure constructs a `RefCell`
+//! — non-`Sync` interior mutability inside the fan-out.
+
+use std::cell::RefCell;
+
+fn shared() -> RefCell<u32> {
+    RefCell::new(0)
+}
+
+pub fn lower(v: Vec<u32>) {
+    v.into_par_iter().for_each(|x| {
+        let _ = shared();
+        let _ = x;
+    });
+}

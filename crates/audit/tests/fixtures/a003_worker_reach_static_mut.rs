@@ -1,0 +1,17 @@
+//! Fixture: trips exactly CM-A003 (worker-reach-static-mut).
+//!
+//! The worker closure calls `bump`, which touches a `static mut` — an
+//! unconditional data race under real threads, found through the call
+//! graph rather than in the closure text itself.
+
+static mut COUNTER: u32 = 0;
+
+fn bump() {
+    unsafe {
+        COUNTER += 1;
+    }
+}
+
+pub fn lower(v: Vec<u32>) {
+    v.into_par_iter().for_each(|_| bump());
+}

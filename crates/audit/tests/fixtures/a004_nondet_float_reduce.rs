@@ -1,0 +1,9 @@
+//! Fixture: trips exactly CM-A004 (nondet-float-reduce).
+//!
+//! Float addition is not associative; summing `f64` values over a
+//! parallel iterator gives chunk-order-dependent results, breaking the
+//! byte-identical determinism gates.
+
+pub fn mean_load(v: Vec<u64>) -> f64 {
+    v.into_par_iter().map(|x| x as f64).sum()
+}

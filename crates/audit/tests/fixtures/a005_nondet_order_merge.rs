@@ -1,0 +1,10 @@
+//! Fixture: trips exactly CM-A005 (nondet-order-merge).
+//!
+//! Workers push into a shared results vector; the arrival order depends
+//! on the schedule, so the output ordering is non-deterministic.
+
+pub fn gather(v: Vec<u32>) {
+    let mut results = Vec::new();
+    v.into_par_iter().for_each(|x| results.push(x));
+    let _ = results;
+}

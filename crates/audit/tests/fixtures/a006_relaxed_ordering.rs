@@ -1,0 +1,10 @@
+//! Fixture: trips exactly CM-A006 (relaxed-ordering).
+//!
+//! `Ordering::Relaxed` outside a documented relaxed domain — this file
+//! deliberately carries no waiver annotation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read_counter(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,21 @@
+//! Fixture: trips exactly CM-A007 (lock-order).
+//!
+//! `one` acquires `s.a` then `s.b`; `two` acquires them in the opposite
+//! order — a deadlock under contention on a work-stealing pool.
+
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn one(s: &S) {
+    let _x = s.a.lock();
+    let _y = s.b.lock();
+}
+
+pub fn two(s: &S) {
+    let _y = s.b.lock();
+    let _x = s.a.lock();
+}

@@ -1,0 +1,11 @@
+//! Fixture: trips exactly CM-A008 (span-guard-escape).
+//!
+//! `drop(outer)` while `inner` is still live pops the per-thread span
+//! stack out of LIFO order, corrupting the trace tree.
+
+pub fn trace_phases() {
+    let outer = span!("outer");
+    let inner = span!("inner");
+    drop(outer);
+    drop(inner);
+}

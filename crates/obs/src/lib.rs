@@ -1,5 +1,8 @@
 //! Zero-dependency instrumentation for the cubemesh workspace.
 //!
+//! audit: relaxed-domain(stat counters): monotonic counters/gauges, read
+//! for reporting only after workers join.
+//!
 //! Everything here is built on `std` atomics only — no external crates —
 //! so the instrumented hot paths (planner memoization, backtracking
 //! search, congestion routing, the Figure-2 census, the network

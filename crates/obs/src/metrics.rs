@@ -1,4 +1,7 @@
 //! Core metric primitives: sharded counters and log2 histograms.
+//!
+//! audit: relaxed-domain(stat counters): sharded monotonic counters and
+//! histogram buckets, aggregated only after workers join.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 

@@ -1,5 +1,8 @@
 //! Rate-limited progress reporting with ETA.
 //!
+//! audit: relaxed-domain(progress ticks): approximate tick counts for a
+//! human-facing rate-limited display; no cross-thread invariants.
+//!
 //! [`Progress`] is safe to tick concurrently from rayon workers: ticks
 //! are a relaxed `fetch_add`, and only the worker that wins a
 //! compare-exchange on the "next print due" timestamp formats and writes

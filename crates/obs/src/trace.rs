@@ -1,6 +1,9 @@
 //! Hierarchical causal tracing with per-thread buffers and three export
 //! formats.
 //!
+//! audit: relaxed-domain(trace guards): enable flag and sequence counters
+//! for per-thread buffers drained after workers join.
+//!
 //! Where the metric layer ([`Counter`](crate::Counter) /
 //! [`Histogram`](crate::Histogram) / [`SpanTimer`](crate::SpanTimer))
 //! aggregates, the trace layer *records*: every span open/close becomes

@@ -29,4 +29,4 @@ pub mod routes;
 pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
 pub use backtrack::{find_embedding, SearchConfig, SearchOutcome};
 pub use catalog::{catalog_embedding, catalog_entries, catalog_lookup, catalog_map, CatalogEntry};
-pub use routes::assign_bounded_congestion;
+pub use routes::{assign_bounded_congestion, AssignError};

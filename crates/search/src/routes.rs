@@ -14,6 +14,39 @@ use cubemesh_embedding::router::{route_all, RouteStrategy};
 use cubemesh_embedding::RouteSet;
 use cubemesh_topology::{hamming, Hypercube};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why the exact assigner produced no route set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignError {
+    /// No assignment meets the congestion bound, or the backtracking
+    /// budget ran out before one was found. For this map the bound is
+    /// (as far as the budget can tell) infeasible; other maps of the
+    /// same mesh may still make it.
+    Infeasible,
+    /// Guest edge `edge` spans Hamming `distance` > 2 under the map, so
+    /// two-choice shortest-path routing does not apply. The paper's
+    /// constructions are all dilation-≤2; a caller hitting this handed
+    /// the assigner a map it was never built for.
+    DilationExceeded { edge: usize, distance: u32 },
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::Infeasible => {
+                write!(f, "no route assignment meets the congestion bound")
+            }
+            AssignError::DilationExceeded { edge, distance } => write!(
+                f,
+                "guest edge {edge} spans Hamming distance {distance} > 2; \
+                 the two-choice assigner requires a dilation-2 map"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
 
 /// Produce routes with congestion ≤ `limit`, trying the fast congestion-
 /// balanced greedy router first and falling back to the exact backtracking
@@ -28,7 +61,9 @@ pub fn certify_congestion(
     if max_congestion(&greedy, host) <= limit {
         return Some(greedy);
     }
-    assign_bounded_congestion(map, edges, host, limit)
+    // A dilation>2 map cannot certify either way; fold that error into
+    // the `None` ("this map does not certify") outcome.
+    assign_bounded_congestion(map, edges, host, limit).ok()
 }
 
 /// Max congestion of a route set (helper shared with discovery).
@@ -59,18 +94,16 @@ pub fn max_congestion(routes: &RouteSet, host: Hypercube) -> u32 {
 /// Find routes for all `edges` with per-host-edge congestion ≤ `limit`,
 /// exactly, with [`DEFAULT_ASSIGN_BUDGET`] backtracking steps.
 ///
-/// Returns `None` if no assignment meets the bound (or the budget ran out —
-/// use [`certify_congestion`] for the greedy-first strategy that rarely
-/// needs the exact search at all).
-///
-/// # Panics
-/// Panics if some edge spans Hamming distance > 2.
+/// Returns [`AssignError::Infeasible`] if no assignment meets the bound
+/// (or the budget ran out — use [`certify_congestion`] for the
+/// greedy-first strategy that rarely needs the exact search at all), and
+/// [`AssignError::DilationExceeded`] if the map is not dilation-≤2.
 pub fn assign_bounded_congestion(
     map: &[u64],
     edges: &[(u32, u32)],
     host: Hypercube,
     limit: u32,
-) -> Option<RouteSet> {
+) -> Result<RouteSet, AssignError> {
     assign_bounded_congestion_budgeted(map, edges, host, limit, DEFAULT_ASSIGN_BUDGET)
 }
 
@@ -79,17 +112,17 @@ pub const DEFAULT_ASSIGN_BUDGET: u64 = 20_000_000;
 
 /// [`assign_bounded_congestion`] with an explicit step budget.
 ///
-/// # Panics
-/// Panics if some edge spans Hamming distance > 2: every caller routes
-/// dilation-≤2 embeddings (the paper's constructions never exceed 2),
-/// so a longer edge is a caller bug, not an infeasible instance.
+/// Every in-tree caller routes dilation-≤2 embeddings (the paper's
+/// constructions never exceed 2); a longer edge is reported as
+/// [`AssignError::DilationExceeded`] rather than a panic so callers can
+/// attribute the failure precisely.
 pub fn assign_bounded_congestion_budgeted(
     map: &[u64],
     edges: &[(u32, u32)],
     host: Hypercube,
     limit: u32,
     max_steps: u64,
-) -> Option<RouteSet> {
+) -> Result<RouteSet, AssignError> {
     let mut load: HashMap<usize, u32> = HashMap::new();
     let bump = |load: &mut HashMap<usize, u32>, a: u64, b: u64| -> bool {
         let bit = (a ^ b).trailing_zeros();
@@ -130,11 +163,16 @@ pub fn assign_bounded_congestion_budgeted(
                     mids: [a ^ lo, a ^ hi],
                 });
             }
-            d => panic!("edge spans Hamming distance {} > 2", d),
+            d => {
+                return Err(AssignError::DilationExceeded {
+                    edge: i,
+                    distance: d,
+                })
+            }
         }
     }
     if fixed_over {
-        return None;
+        return Err(AssignError::Infeasible);
     }
 
     // Order choice edges so heavily shared neighborhoods are decided early:
@@ -167,14 +205,14 @@ pub fn assign_bounded_congestion_budgeted(
     let unapply = |load: &mut HashMap<usize, u32>, c: &Choice, mid: u64, host: &Hypercube| {
         let e1 = host.edge_index(c.a, (c.a ^ mid).trailing_zeros());
         let e2 = host.edge_index(mid, (mid ^ c.b).trailing_zeros());
-        let l1 = load
-            .get_mut(&e1)
-            .expect("unapply removes a load recorded by try_apply");
-        *l1 -= 1;
-        let l2 = load
-            .get_mut(&e2)
-            .expect("unapply removes a load recorded by try_apply");
-        *l2 -= 1;
+        // try_apply recorded both loads, so the entries are present; a
+        // missing entry would be a bug, but skipping it is strictly
+        // safer than panicking mid-search.
+        for e in [e1, e2] {
+            if let Some(l) = load.get_mut(&e) {
+                *l -= 1;
+            }
+        }
     };
 
     let mut steps = 0u64;
@@ -184,7 +222,7 @@ pub fn assign_bounded_congestion_budgeted(
         }
         steps += 1;
         if steps > max_steps {
-            return None;
+            return Err(AssignError::Infeasible);
         }
         let c = choices[depth];
         let mut advanced = false;
@@ -204,7 +242,7 @@ pub fn assign_bounded_congestion_budgeted(
         if !advanced {
             // Backtrack.
             if depth == 0 {
-                return None;
+                return Err(AssignError::Infeasible);
             }
             next_try[depth] = 0;
             depth -= 1;
@@ -235,7 +273,7 @@ pub fn assign_bounded_congestion_budgeted(
             }
         }
     }
-    Some(rs)
+    Ok(rs)
 }
 
 #[cfg(test)]
@@ -251,7 +289,7 @@ mod tests {
         let host = Hypercube::new(2);
         let map = vec![0b00, 0b11, 0b01, 0b10];
         let edges = vec![(0u32, 1u32), (2, 3)];
-        assert!(assign_bounded_congestion(&map, &edges, host, 1).is_none());
+        assert!(assign_bounded_congestion(&map, &edges, host, 1).is_err());
         let rs = assign_bounded_congestion(&map, &edges, host, 2).expect("feasible");
         let emb = Embedding::new(4, edges, host, map, rs);
         emb.verify().unwrap();
@@ -281,8 +319,32 @@ mod tests {
         let map = vec![0, 1];
         let edges = vec![(0u32, 1u32), (1, 0)];
         // duplicate edge not allowed upstream, but the assigner only counts:
-        assert!(assign_bounded_congestion(&map, &edges, host, 1).is_none());
-        assert!(assign_bounded_congestion(&map, &edges, host, 2).is_some());
+        match assign_bounded_congestion(&map, &edges, host, 1) {
+            Err(e) => assert_eq!(e, AssignError::Infeasible),
+            Ok(_) => panic!("limit 1 should be infeasible"),
+        }
+        assert!(assign_bounded_congestion(&map, &edges, host, 2).is_ok());
+    }
+
+    #[test]
+    fn hamming_three_edge_is_a_typed_error() {
+        // A map that is not dilation-≤2 is a caller bug, reported as a
+        // structured error naming the offending edge, not a panic.
+        let host = Hypercube::new(3);
+        let map = vec![0b000, 0b111];
+        let edges = vec![(0u32, 1u32)];
+        match assign_bounded_congestion(&map, &edges, host, 2) {
+            Err(e) => assert_eq!(
+                e,
+                AssignError::DilationExceeded {
+                    edge: 0,
+                    distance: 3
+                }
+            ),
+            Ok(_) => panic!("expected a dilation error"),
+        }
+        // certify_congestion folds it into "does not certify".
+        assert!(certify_congestion(&map, &edges, host, 0).is_none());
     }
 
     #[test]

@@ -16,6 +16,23 @@
 //! Like real rayon, the worker count honours `RAYON_NUM_THREADS` (it is
 //! re-read per parallel region, so a bench can toggle it between runs);
 //! otherwise `std::thread::available_parallelism()` decides.
+//!
+//! # Analyzer contract
+//!
+//! The static analyzer (`cubemesh-audit analyze`) discovers parallel
+//! regions from the fan-out API names this shim exports. The shim
+//! *declares* its own surface with the annotations below, which the
+//! analyzer merges with its defaults — so adding a combinator here
+//! without annotating it shows up as an analysis gap in review, not as
+//! a silently unscanned parallel region.
+//!
+//! * audit: fanout-source(into_par_iter)
+//! * audit: fanout-entry(map)
+//! * audit: fanout-entry(sum)
+//! * audit: fanout-entry(reduce)
+//! * audit: fanout-entry(collect)
+//! * audit: fanout-direct(spawn)
+//! * audit: fanout-direct(scope)
 
 use std::ops::{Range, RangeInclusive};
 

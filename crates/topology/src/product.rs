@@ -13,12 +13,12 @@ use crate::graph::Graph;
 /// Satisfies `|V| = |V₁||V₂|` and `|E| = |V₁||E₂| + |V₂||E₁|` (checked in
 /// tests, as stated after Definition 4 of the paper).
 ///
-/// # Panics
-/// Panics if `|V₁|·|V₂|` overflows `usize`.
-pub fn product(g1: &Graph, g2: &Graph) -> Graph {
+/// Returns `None` when `|V₁|·|V₂|` overflows `usize` — the product graph
+/// cannot be represented, and the caller decides whether that is an error.
+pub fn product(g1: &Graph, g2: &Graph) -> Option<Graph> {
     let n1 = g1.nodes();
     let n2 = g2.nodes();
-    let n = n1.checked_mul(n2).expect("product graph too large");
+    let n = n1.checked_mul(n2)?;
     let mut edges = Vec::with_capacity(n1 * g2.edge_count() + n2 * g1.edge_count());
     // G₂-type edges: one copy of G₂ per node of G₁.
     for u in 0..n1 {
@@ -32,7 +32,7 @@ pub fn product(g1: &Graph, g2: &Graph) -> Graph {
             edges.push((a as usize * n2 + v, b as usize * n2 + v));
         }
     }
-    Graph::from_edges(n, &edges)
+    Some(Graph::from_edges(n, &edges))
 }
 
 /// Index of the product node `[u, v]` in `g1 × g2` where `n2 = |V(G₂)|`.
@@ -62,7 +62,7 @@ mod tests {
     fn product_counts_match_definition() {
         let g1 = Mesh::from_dims(&[3]).to_graph();
         let g2 = Mesh::from_dims(&[4]).to_graph();
-        let p = product(&g1, &g2);
+        let p = product(&g1, &g2).unwrap();
         assert_eq!(p.nodes(), 12);
         assert_eq!(
             p.edge_count(),
@@ -76,7 +76,7 @@ mod tests {
         // given the row-major index convention.
         let g1 = Mesh::from_dims(&[3]).to_graph();
         let g2 = Mesh::from_dims(&[4]).to_graph();
-        let p = product(&g1, &g2);
+        let p = product(&g1, &g2).unwrap();
         let m = Mesh::from_dims(&[3, 4]).to_graph();
         assert_eq!(p.nodes(), m.nodes());
         assert_eq!(p.edge_count(), m.edge_count());
@@ -90,7 +90,7 @@ mod tests {
         // from Q₂): index u*8+v corresponds to address (u << 3) | v.
         let q2 = Hypercube::new(2).to_graph();
         let q3 = Hypercube::new(3).to_graph();
-        let p = product(&q2, &q3);
+        let p = product(&q2, &q3).unwrap();
         let q5 = Hypercube::new(5).to_graph();
         assert!(is_identity_subgraph(&p, &q5));
         assert!(is_identity_subgraph(&q5, &p));
@@ -121,7 +121,7 @@ mod tests {
         // the product has more edges than the big mesh needs.
         let a = Mesh::from_dims(&[2, 2]).to_graph();
         let b = Mesh::from_dims(&[3, 3]).to_graph();
-        let p = product(&a, &b);
+        let p = product(&a, &b).unwrap();
         let big = Mesh::from_dims(&[6, 6]);
         assert_eq!(p.nodes(), big.nodes());
         assert!(p.edge_count() >= big.edge_count());

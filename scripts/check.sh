@@ -11,6 +11,8 @@ cd "$(dirname "$0")/.."
 if [[ "${1:-}" == "--quick" ]]; then
     echo "== quick: audit source lints =="
     cargo run --release -q -p cubemesh-audit -- lint
+    echo "== quick: audit static analyzer =="
+    cargo run --release -q -p cubemesh-audit -- analyze
     echo "== quick: certify smoke (<=8^3) =="
     cargo run --release -q -p cubemesh-audit -- selfcheck --quick
     echo "Quick checks passed."
@@ -29,6 +31,42 @@ cargo test -q
 
 echo "== audit: source lints (panic discipline, casts, concurrency) =="
 cargo run --release -q -p cubemesh-audit -- lint
+mkdir -p target
+cargo run --release -q -p cubemesh-audit -- lint --json > target/audit-lint.json
+test -s target/audit-lint.json
+echo "wrote target/audit-lint.json"
+
+echo "== audit: static analyzer (CM-A001..A008, interprocedural) =="
+# Hard gate: any finding fails the build. The JSON artifact is archived
+# for CI annotation, and the analyzer's own wall-time is surfaced so the
+# pass is kept under its ~5s budget.
+analyze_t0=$(date +%s%N)
+cargo run --release -q -p cubemesh-audit -- analyze --json > target/audit-analyze.json
+analyze_t1=$(date +%s%N)
+analyze_ms=$(( (analyze_t1 - analyze_t0) / 1000000 ))
+test -s target/audit-analyze.json
+grep -q '"findings":\[\]' target/audit-analyze.json
+echo "wrote target/audit-analyze.json (0 findings, ${analyze_ms} ms end-to-end)"
+
+echo "== audit: analyzer self-test (fixture corpus must trip) =="
+# Each known-bad fixture in crates/audit/tests/fixtures/ must trip
+# exactly its diagnostic code — a silently dead pass fails the gate.
+cargo test --release -q -p cubemesh-audit --test fixtures
+
+echo "== audit: injected-violation self-test (the analyze gate must trip) =="
+# Drop a known-bad source into a scratch workspace shaped like a crate
+# and run the analyzer over it; the gate failing to exit non-zero is
+# itself a failure.
+inject_dir=$(mktemp -d)
+mkdir -p "$inject_dir/src"
+cp crates/audit/tests/fixtures/a001_worker_capture_mut.rs "$inject_dir/src/lib.rs"
+if cargo run --release -q -p cubemesh-audit -- analyze --root "$inject_dir" >/dev/null 2>&1; then
+    echo "ERROR: injected CM-A001 violation did not trip the analyze gate" >&2
+    rm -rf "$inject_dir"
+    exit 1
+fi
+rm -rf "$inject_dir"
+echo "analyze gate trips on an injected violation, as designed."
 
 echo "== audit: certificate self-check (mesh/torus/fold/contract, 32^3) =="
 cargo run --release -q -p cubemesh-audit -- selfcheck --stats

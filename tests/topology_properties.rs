@@ -62,7 +62,7 @@ proptest! {
             prop_assert!(dt[v] <= dm[v]);
         }
 
-        let p = product(&mesh, &torus);
+        let p = product(&mesh, &torus).unwrap();
         prop_assert_eq!(
             p.edge_count(),
             mesh.nodes() * torus.edge_count() + torus.nodes() * mesh.edge_count()
