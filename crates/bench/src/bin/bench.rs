@@ -31,7 +31,10 @@
 //!
 //! `--compare BASE.json` loads a prior BENCH_3 document and compares this
 //! run's `construct_nodes_per_s`, `metrics_hops_per_s` and `peak_rss_kb`
-//! per rung (matched by shape; rungs missing on either side are skipped).
+//! per rung (matched by shape; rungs missing on either side are skipped),
+//! plus the `gray_kernel` micro-rungs (matched by name; absent in older
+//! baselines, then skipped). A baseline recorded on a different
+//! `parallel_backend` is a hard error — executors are not comparable.
 //! Any metric that moves past the tolerance in the bad direction makes
 //! the process exit non-zero — `scripts/check.sh` runs this on every
 //! gate, so perf regressions fail CI like test regressions do.
@@ -170,11 +173,53 @@ fn run_pipeline(dims: &[usize], reps: usize) -> Option<(Rung, Embedding)> {
     Some((rung, emb))
 }
 
+/// One kernel micro-bench rung: name and elements-per-second throughput.
+#[derive(Clone, Debug)]
+struct KernelRung {
+    name: &'static str,
+    elems: usize,
+    elems_per_s: f64,
+}
+
+/// The `gray_kernel` micro-bench: batch Gray encode, batch decode, and
+/// XOR-popcount Hamming throughput over 1 Mi-element `u64` lanes,
+/// minimum-of-reps like the shape ladder. These isolate the single-core
+/// bit-kernels from the mesh machinery so a regression in the kernels
+/// themselves can't hide inside pipeline noise.
+fn run_kernel_bench(reps: usize) -> Vec<KernelRung> {
+    use cubemesh_gray::{gray_fill_run, gray_inverse_fill, hamming_total};
+    use std::hint::black_box;
+    const N: usize = 1 << 20;
+    let mut buf = vec![0u64; N];
+    let mut ys = vec![0u64; N];
+    gray_fill_run(&mut ys, 1, 0, 0);
+    let (mut enc, mut dec, mut ham) = (f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..reps.max(1) {
+        let ((), t) = time(|| gray_fill_run(black_box(&mut buf), 0, 0, 0));
+        enc = enc.min(t);
+        let ((), t) = time(|| gray_inverse_fill(black_box(&mut buf)));
+        dec = dec.min(t);
+        let (total, t) = time(|| hamming_total(black_box(&buf), black_box(&ys)));
+        black_box(total);
+        ham = ham.min(t);
+    }
+    let rung = |name, secs: f64| KernelRung {
+        name,
+        elems: N,
+        elems_per_s: N as f64 / secs.max(1e-12),
+    };
+    vec![
+        rung("gray_encode", enc),
+        rung("gray_decode", dec),
+        rung("hamming", ham),
+    ]
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn to_json(rungs: &[Rung], threads: usize) -> String {
+fn to_json(rungs: &[Rung], threads: usize, kernels: &[KernelRung]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"BENCH_3\",");
@@ -223,9 +268,22 @@ fn to_json(rungs: &[Rung], threads: usize) -> String {
             "\"seq_construct_s\": {:.6}, \"seq_metrics_s\": {:.6}, \"speedup_construct_metrics\": {:.3}, ",
             r.seq_construct_s, r.seq_metrics_s, r.speedup_construct_metrics
         );
-        let _ = write!(out, "\"peak_rss_kb\": {}", r.peak_rss_kb);
+        let _ = write!(
+            out,
+            "\"peak_rss_kb\": {}, \"threads\": {}, \"host_cores\": {}",
+            r.peak_rss_kb, threads, cores
+        );
         out.push('}');
         out.push_str(if i + 1 < rungs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"elems\": {}, \"elems_per_s\": {:.1}}}",
+            k.name, k.elems, k.elems_per_s
+        );
+        out.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -471,7 +529,16 @@ fn main() -> ExitCode {
         eprintln!("cubemesh-bench: no rungs completed");
         return ExitCode::FAILURE;
     }
-    let doc = to_json(&rungs, threads);
+    let kernels = run_kernel_bench(reps);
+    for k in &kernels {
+        println!(
+            "{:>12}  kernel {:>9} elems  {:>10.1}M elems/s",
+            k.name,
+            k.elems,
+            k.elems_per_s / 1e6
+        );
+    }
+    let doc = to_json(&rungs, threads, &kernels);
     if let Err(e) = std::fs::write(&out_path, &doc) {
         eprintln!("cubemesh-bench: writing {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -504,13 +571,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Backend honesty gate: throughput from different executors is
+        // not comparable, so a backend mismatch is a hard error, not a
+        // warning — regenerate the baseline on the current backend.
         if let Some(backend) = &baseline.parallel_backend {
             if backend != rayon::backend() {
                 eprintln!(
-                    "cubemesh-bench: warning: baseline backend '{backend}' != \
-                     current '{}' — deltas compare different executors",
+                    "cubemesh-bench: baseline backend '{backend}' != current '{}' — \
+                     refusing to compare different executors; regenerate {base_path}",
                     rayon::backend()
                 );
+                return ExitCode::FAILURE;
             }
         }
         // Self-test hook for check.sh: deflate this run's throughput 25%
@@ -525,13 +596,27 @@ fn main() -> ExitCode {
                 peak_rss_kb: r.peak_rss_kb,
             })
             .collect();
-        let report = match cubemesh_bench::compare_rungs(&baseline.rungs, &current, tolerance) {
+        let mut report = match cubemesh_bench::compare_rungs(&baseline.rungs, &current, tolerance) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("cubemesh-bench: compare: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        // Kernel micro-rungs gate alongside the shape rungs; baselines
+        // predating the kernel bench simply contribute no deltas.
+        let current_kernels: Vec<cubemesh_bench::KernelMetrics> = kernels
+            .iter()
+            .map(|k| cubemesh_bench::KernelMetrics {
+                name: k.name.to_owned(),
+                elems_per_s: k.elems_per_s * if inject { 0.75 } else { 1.0 },
+            })
+            .collect();
+        report.deltas.extend(cubemesh_bench::compare_kernels(
+            &baseline.kernels,
+            &current_kernels,
+            tolerance,
+        ));
         print!("{}", report.to_text());
         if let Some(path) = flag_value(&args, "--compare-out") {
             if let Err(e) = std::fs::write(&path, report.to_json()) {

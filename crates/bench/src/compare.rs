@@ -37,6 +37,16 @@ pub struct RungMetrics {
     pub peak_rss_kb: u64,
 }
 
+/// One kernel micro-bench rung: a named single-core kernel and its
+/// throughput in elements per second (higher is better).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelMetrics {
+    /// Kernel name, e.g. `"gray_encode"` — the join key.
+    pub name: String,
+    /// Throughput in elements per second.
+    pub elems_per_s: f64,
+}
+
 /// A parsed baseline document (the subset of `BENCH_3.json` the compare
 /// gate consumes).
 #[derive(Clone, Debug)]
@@ -49,6 +59,9 @@ pub struct Baseline {
     pub parallel_backend: Option<String>,
     /// Per-rung figures of merit.
     pub rungs: Vec<RungMetrics>,
+    /// Kernel micro-bench rungs (empty in pre-kernel baselines, in which
+    /// case the kernel gate is skipped rather than failed).
+    pub kernels: Vec<KernelMetrics>,
 }
 
 /// Parse a `BENCH_3.json` document into a [`Baseline`].
@@ -74,6 +87,20 @@ pub fn load_baseline(json: &str) -> Result<Baseline, String> {
             peak_rss_kb: num(r.get("peak_rss_kb")).unwrap_or(0.0) as u64,
         });
     }
+    let mut kernels = Vec::new();
+    if let Some(arr) = doc.get("kernels").and_then(JsonValue::as_arr) {
+        for (i, k) in arr.iter().enumerate() {
+            let name = k
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("kernel {i} has no \"name\""))?
+                .to_owned();
+            kernels.push(KernelMetrics {
+                name,
+                elems_per_s: num(k.get("elems_per_s")).unwrap_or(0.0),
+            });
+        }
+    }
     Ok(Baseline {
         threads: num(doc.get("threads")).unwrap_or(0.0) as u64,
         host_cores: num(doc.get("host_cores")).unwrap_or(0.0) as u64,
@@ -82,6 +109,7 @@ pub fn load_baseline(json: &str) -> Result<Baseline, String> {
             .and_then(JsonValue::as_str)
             .map(str::to_owned),
         rungs,
+        kernels,
     })
 }
 
@@ -208,7 +236,7 @@ pub fn compare(
         };
         push_delta(
             &mut deltas,
-            cur,
+            &cur.shape,
             "construct_nodes_per_s",
             base.construct_nodes_per_s,
             cur.construct_nodes_per_s,
@@ -217,7 +245,7 @@ pub fn compare(
         );
         push_delta(
             &mut deltas,
-            cur,
+            &cur.shape,
             "metrics_hops_per_s",
             base.metrics_hops_per_s,
             cur.metrics_hops_per_s,
@@ -226,7 +254,7 @@ pub fn compare(
         );
         push_delta(
             &mut deltas,
-            cur,
+            &cur.shape,
             "peak_rss_kb",
             base.peak_rss_kb as f64,
             cur.peak_rss_kb as f64,
@@ -259,9 +287,35 @@ enum Direction {
     LowerIsBetter,
 }
 
+/// Compare the kernel micro-rungs, matched by name; returns one
+/// higher-is-better delta per kernel present on both sides. An empty
+/// baseline list yields no deltas, so pre-kernel baselines pass untouched.
+pub fn compare_kernels(
+    baseline: &[KernelMetrics],
+    current: &[KernelMetrics],
+    tolerance: f64,
+) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
+            continue;
+        };
+        push_delta(
+            &mut deltas,
+            &cur.name,
+            "kernel_elems_per_s",
+            base.elems_per_s,
+            cur.elems_per_s,
+            Direction::HigherIsBetter,
+            tolerance,
+        );
+    }
+    deltas
+}
+
 fn push_delta(
     deltas: &mut Vec<Delta>,
-    rung: &RungMetrics,
+    shape: &str,
     metric: &'static str,
     baseline: f64,
     current: f64,
@@ -272,7 +326,7 @@ fn push_delta(
     // compared meaningfully — record the delta but never flag it.
     if baseline <= 0.0 {
         deltas.push(Delta {
-            shape: rung.shape.clone(),
+            shape: shape.to_owned(),
             metric,
             baseline,
             current,
@@ -293,7 +347,7 @@ fn push_delta(
         }
     };
     deltas.push(Delta {
-        shape: rung.shape.clone(),
+        shape: shape.to_owned(),
         metric,
         baseline,
         current,
@@ -410,6 +464,51 @@ mod tests {
         assert!(rep.regressions().is_empty());
         // The JSON artifact parses back.
         assert!(parse_json(&rep.to_json()).is_ok());
+    }
+
+    #[test]
+    fn kernel_rungs_gate_like_shape_rungs() {
+        let kern = |n: &str, v: f64| KernelMetrics {
+            name: n.to_owned(),
+            elems_per_s: v,
+        };
+        let base = vec![kern("gray_encode", 1e9), kern("hamming", 2e9)];
+        // Matching run: no regressions; unknown kernel skipped.
+        let cur = vec![
+            kern("gray_encode", 1.05e9),
+            kern("hamming", 1.9e9),
+            kern("brand_new", 9e9),
+        ];
+        let deltas = compare_kernels(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| !d.regressed));
+        // A 20% drop trips.
+        let cur = vec![kern("gray_encode", 0.8e9)];
+        let deltas = compare_kernels(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].regressed);
+        assert_eq!(deltas[0].metric, "kernel_elems_per_s");
+        // Pre-kernel baseline: nothing compared, nothing failed.
+        assert!(compare_kernels(&[], &cur, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn baseline_parses_kernel_rungs() {
+        let doc = r#"{
+          "bench": "BENCH_3",
+          "threads": 1,
+          "rungs": [
+            {"shape": "16x16x16", "construct_nodes_per_s": 1.0,
+             "metrics_hops_per_s": 2.0, "peak_rss_kb": 3}
+          ],
+          "kernels": [
+            {"name": "gray_encode", "elems_per_s": 123456789.0}
+          ]
+        }"#;
+        let base = load_baseline(doc).unwrap();
+        assert_eq!(base.kernels.len(), 1);
+        assert_eq!(base.kernels[0].name, "gray_encode");
+        assert!((base.kernels[0].elems_per_s - 123456789.0).abs() < 1.0);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 pub mod compare;
 
 pub use compare::{
-    compare as compare_rungs, load_baseline, Baseline, CompareReport, Delta, RungMetrics,
-    DEFAULT_TOLERANCE,
+    compare as compare_rungs, compare_kernels, load_baseline, Baseline, CompareReport, Delta,
+    KernelMetrics, RungMetrics, DEFAULT_TOLERANCE,
 };
 
 /// Format a percentage with one decimal, paper-style.

@@ -12,7 +12,7 @@
 use crate::map::Embedding;
 use crate::route::RouteSet;
 use crate::router::{route_all, RouteStrategy};
-use cubemesh_gray::{gray_mesh_address, AxisLayout};
+use cubemesh_gray::{gray_fill_run, gray_mesh_address, AxisLayout};
 use cubemesh_topology::{Hypercube, Mesh, Shape};
 use rayon::prelude::*;
 use std::ops::Range;
@@ -226,6 +226,50 @@ pub fn mesh_embedding_with_router(
     Embedding::new_mesh(shape, host, map, routes)
 }
 
+/// The Gray node map filled in innermost-axis runs through the batch
+/// kernel: along the last axis only that axis' Gray field changes, so a
+/// whole run shares one `base` address and [`gray_fill_run`] writes it
+/// without re-walking the coordinate vector per node. Byte-identical to
+/// `fill_node_map(shape, |c| gray_mesh_address(layout, c))`.
+fn gray_node_map(shape: &Shape, layout: &AxisLayout) -> Vec<u64> {
+    let nodes = shape.nodes();
+    let rank = shape.rank();
+    if rank == 0 || nodes == 0 {
+        return fill_node_map(shape, |c| gray_mesh_address(layout, c));
+    }
+    let last = shape.len(rank - 1);
+    let shift = layout.offset(rank - 1);
+    let fill = |range: Range<usize>| {
+        let mut part = vec![0u64; range.len()];
+        let mut coords = vec![0usize; rank];
+        // A chunk boundary may fall mid-run; re-derive coordinates per
+        // run start and emit the (possibly clipped) run in one call.
+        let mut pos = range.start;
+        let mut out = part.as_mut_slice();
+        while !out.is_empty() {
+            shape.coords_into(pos, &mut coords);
+            let x0 = coords[rank - 1];
+            let run = (last - x0).min(out.len());
+            let (head, rest) = out.split_at_mut(run);
+            let base = gray_mesh_address(layout, &coords[..rank - 1]);
+            gray_fill_run(head, x0 as u64, base, shift);
+            pos += run;
+            out = rest;
+        }
+        part
+    };
+    let chunks = node_chunks(nodes);
+    if chunks.len() == 1 {
+        return fill(0..nodes);
+    }
+    let parts: Vec<Vec<u64>> = chunks.into_par_iter().map(fill).collect();
+    let mut map = Vec::with_capacity(nodes);
+    for part in parts {
+        map.extend_from_slice(&part);
+    }
+    map
+}
+
 /// The binary-reflected Gray-code embedding of §3.1: dilation 1,
 /// congestion 1, host dimension `Σᵢ ⌈log₂ ℓᵢ⌉`.
 ///
@@ -236,7 +280,7 @@ pub fn mesh_embedding_with_router(
 pub fn gray_mesh_embedding(shape: &Shape) -> Embedding {
     let layout = AxisLayout::from_shape(shape);
     let host = Hypercube::new(layout.total_dim());
-    let map = fill_node_map(shape, |c| gray_mesh_address(&layout, c));
+    let map = gray_node_map(shape, &layout);
     let view = MeshEdgeView::new(shape);
 
     // Every Gray route is the two-node path between adjacent addresses.
@@ -293,6 +337,17 @@ mod tests {
         let shape = Shape::new(&[3, 3]);
         let e = gray_mesh_embedding(&shape);
         assert!(e.metrics().is_minimal_expansion());
+    }
+
+    #[test]
+    fn batched_gray_map_matches_generic_fill() {
+        for dims in [vec![5usize, 3, 6], vec![1, 7], vec![2, 2, 2, 3], vec![9]] {
+            let shape = Shape::new(&dims);
+            let layout = AxisLayout::from_shape(&shape);
+            let batched = gray_node_map(&shape, &layout);
+            let generic = fill_node_map(&shape, |c| gray_mesh_address(&layout, c));
+            assert_eq!(batched, generic, "shape {:?}", dims);
+        }
     }
 
     #[test]

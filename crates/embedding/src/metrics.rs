@@ -1,19 +1,23 @@
 //! Expansion, dilation, congestion, and their averages (Definitions 1–3),
 //! plus the load-factor of §7 for many-to-one maps.
 //!
-//! Congestion is computed by sorting the dense edge indices of every route
-//! step and counting runs — `O(L log L)` in the total route length `L`, with
-//! no per-host-edge allocation, so it scales to guests with millions of
-//! edges in cubes far too large to materialize. Two refinements keep the
-//! paper-scale shapes fast:
+//! Congestion is exact and never materializes a per-host-edge array the
+//! size of the cube. When the host's edge-index space fits in `u32` (any
+//! cube up to `Q_26`), steps take the *bucketed counting* path: each
+//! route shard computes its dilation max and partitions its dense step
+//! indices into contiguous buckets of `2^15` indices (a 128 KiB count
+//! window — L2-resident), then each bucket is counted through the reused
+//! window with an on-the-fly max. Both phases are embarrassingly
+//! parallel (shards, then buckets) and every value is an exact integer,
+//! so the sharded result is bitwise identical to the sequential one.
+//! When the route arena is all dilation-1 pairs (`RouteSet::all_pairs`,
+//! the shape every Gray-code embedding produces), the gather reads the
+//! node arena directly as `(u, v)` lanes, skipping the offsets table.
 //!
-//! * when the host's edge-index space fits in `u32` (any cube up to `Q_26`),
-//!   steps are gathered and sorted as `u32`, halving sort traffic;
-//! * with more than one rayon thread, routes are sharded into contiguous
-//!   index chunks, each worker sorts its own steps, and the sorted partials
-//!   are k-way merged while counting runs — bitwise the same `Metrics` as
-//!   the sequential path ([`metrics_par`] and [`metrics_seq`] are
-//!   property-tested for exact agreement).
+//! Larger cubes (`space > u32::MAX`) fall back to the sort-and-merge
+//! path: per-shard sorted `u64` step lists, k-way merged while counting
+//! runs. [`metrics_par`] and [`metrics_seq`] are property-tested for
+//! exact agreement on both paths.
 
 use crate::builders::PAR_MIN_NODES;
 use crate::map::Embedding;
@@ -85,41 +89,186 @@ pub fn metrics_par(e: &Embedding) -> Metrics {
 fn dil_cong_dispatch(e: &Embedding, parts: usize) -> Metrics {
     let host = e.host();
     let space = host.edge_index_space();
-    // When the host's edge-index space is within a small factor of the
-    // total route length, a direct count array beats sorting the steps:
-    // one increment per step plus a linear max scan, no O(L log L) sort.
-    // (The cap keeps the array under ~256 MiB for sparse giant cubes.)
-    let total_len = e.routes().total_length();
-    if parts <= 1 && space as u64 <= 16 * total_len && space <= 1 << 26 {
-        let (dilation, congestion) = dil_cong_counted(e);
-        return finish_metrics(e, dilation, congestion);
-    }
-    // Any cube with edge_index_space() <= u32::MAX (dim <= 26) can count
-    // congestion over u32 steps — half the memory traffic of u64.
-    let (dilation, congestion) = if space <= u32::MAX as usize {
-        dil_cong(e, parts, |i| i as u32)
+    // Any cube with edge_index_space() <= u32::MAX (dim <= 26) takes the
+    // bucketed u32 counting path — half the memory traffic of u64 and no
+    // sort; giant cubes fall back to sort-and-merge over u64 steps, and
+    // so do tiny route sets, where the count window's zero-fill would
+    // dominate the handful of steps being counted.
+    let bucketed = space <= u32::MAX as usize && e.routes().total_length() >= SMALL_SORT_MAX;
+    let (dilation, congestion) = if bucketed {
+        dil_cong_bucketed(e, parts)
     } else {
         dil_cong(e, parts, |i| i as u64)
     };
     finish_metrics(e, dilation, congestion)
 }
 
-/// Dilation + congestion via a dense per-host-edge count array — exact,
-/// and faster than sort-and-count when the index space is not much larger
-/// than the number of route steps.
-fn dil_cong_counted(e: &Embedding) -> (u32, u32) {
+/// Bucket granularity for the counting path: `2^15` u32 slots = 128 KiB
+/// per count window, sized to stay L2-resident while counting.
+const BUCKET_BITS: u32 = 15;
+const BUCKET_WIDTH: usize = 1 << BUCKET_BITS;
+
+/// Route arenas shorter than this sort faster than they bucket (the
+/// count window's zero-fill alone outweighs sorting a few thousand
+/// steps), so they keep the u64 sort-and-merge path.
+const SMALL_SORT_MAX: u64 = 1 << 16;
+
+/// One route shard's gathered steps: dilation max plus step indices
+/// partitioned into bucket-contiguous segments (`offs` holds the prefix
+/// sums; bucket `b` is `steps[offs[b]..offs[b + 1]]`). Steps are stored
+/// as *in-bucket* offsets — the low `BUCKET_BITS` of the edge index,
+/// which is all the count phase needs once the bucket is fixed — so the
+/// scatter writes and the two count-phase reads move half the bytes a
+/// full `u32` index would.
+struct ShardSteps {
+    dil: u32,
+    offs: Vec<u32>,
+    steps: Vec<u16>,
+}
+
+/// Gather one contiguous route range: dilation max plus step indices,
+/// with the per-bucket histogram folded into the same pass; then one
+/// counting scatter into bucket-contiguous order.
+fn gather_shard(e: &Embedding, lo: usize, hi: usize, nbuckets: usize) -> ShardSteps {
     let host = e.host();
     let routes = e.routes();
-    let mut counts = vec![0u32; host.edge_index_space()];
     let mut dil = 0u32;
-    for i in 0..routes.len() {
-        dil = dil.max(routes.dilation(i));
-        for w in routes.route(i).windows(2) {
-            let bit = (w[0] ^ w[1]).trailing_zeros();
-            counts[host.edge_index(w[0], bit)] += 1;
+    let mut raw: Vec<u32>;
+    if routes.all_pairs() {
+        // Every route is a 2-node path: read the arena as (u, v) lanes —
+        // no offsets indirection, dilation is 1 wherever routes exist.
+        // Writing through a pre-sized iterator keeps the loop free of
+        // capacity checks and memory-dependency chains.
+        dil = u32::from(hi > lo);
+        let lanes = &routes.pair_lanes()[lo * 2..hi * 2];
+        raw = vec![0u32; lanes.len() / 2];
+        for (o, pair) in raw.iter_mut().zip(lanes.chunks_exact(2)) {
+            let bit = (pair[0] ^ pair[1]).trailing_zeros();
+            *o = host.edge_index(pair[0], bit) as u32;
+        }
+    } else {
+        raw = Vec::with_capacity(routes.span_length(lo, hi));
+        for i in lo..hi {
+            dil = dil.max(routes.dilation(i));
+            for w in routes.route(i).windows(2) {
+                let bit = (w[0] ^ w[1]).trailing_zeros();
+                raw.push(host.edge_index(w[0], bit) as u32);
+            }
         }
     }
-    (dil, counts.iter().copied().max().unwrap_or(0))
+    const LOW_MASK: u32 = (BUCKET_WIDTH - 1) as u32;
+    if nbuckets <= 1 {
+        let total = raw.len() as u32;
+        return ShardSteps {
+            dil,
+            offs: vec![0, total],
+            steps: raw.iter().map(|&s| s as u16).collect(),
+        };
+    }
+    let mut offs = vec![0u32; nbuckets + 1];
+    bucket_histogram(&raw, &mut offs);
+    for b in 1..=nbuckets {
+        offs[b] += offs[b - 1];
+    }
+    let mut cursor = offs.clone();
+    let mut steps = vec![0u16; raw.len()];
+    for &s in &raw {
+        let b = (s >> BUCKET_BITS) as usize;
+        steps[cursor[b] as usize] = (s & LOW_MASK) as u16;
+        cursor[b] += 1;
+    }
+    ShardSteps { dil, offs, steps }
+}
+
+/// Per-bucket step counts into `offs[bucket + 1]` (the shifted layout the
+/// prefix sum in [`gather_shard`] expects). Four interleaved
+/// sub-histograms: consecutive steps usually land in the same bucket, and
+/// a single counter array would serialize every increment on
+/// store-to-load forwarding.
+fn bucket_histogram(steps: &[u32], offs: &mut [u32]) {
+    let nb = offs.len() - 1;
+    let mut h1 = vec![0u32; nb];
+    let mut h2 = vec![0u32; nb];
+    let mut h3 = vec![0u32; nb];
+    let mut lanes = steps.chunks_exact(4);
+    for q in &mut lanes {
+        offs[(q[0] >> BUCKET_BITS) as usize + 1] += 1;
+        h1[(q[1] >> BUCKET_BITS) as usize] += 1;
+        h2[(q[2] >> BUCKET_BITS) as usize] += 1;
+        h3[(q[3] >> BUCKET_BITS) as usize] += 1;
+    }
+    for &s in lanes.remainder() {
+        offs[(s >> BUCKET_BITS) as usize + 1] += 1;
+    }
+    for b in 0..nb {
+        offs[b + 1] += h1[b] + h2[b] + h3[b];
+    }
+}
+
+/// Count a run of buckets across all shards through one reused
+/// L2-resident window, tracking the max on the fly. Each slot carries the
+/// bucket index that last wrote it in its high half; a slot whose tag is
+/// stale reads as zero, so no reset pass between buckets is needed and
+/// every step is touched exactly once. (A fresh window starts all-zero,
+/// which is exactly "tag 0, count 0" — correct for the first bucket too.)
+fn bucket_group_max(shards: &[ShardSteps], blo: usize, bhi: usize, space: usize) -> u32 {
+    let mut window = vec![0u64; BUCKET_WIDTH.min(space.max(1))];
+    let mut best = 0u32;
+    for b in blo..bhi {
+        let tag = (b as u64) << 32;
+        for sh in shards {
+            let seg = &sh.steps[sh.offs[b] as usize..sh.offs[b + 1] as usize];
+            for &s in seg {
+                let k = s as usize;
+                let v = window[k];
+                let c = (if v >> 32 == b as u64 { v } else { tag }) + 1;
+                window[k] = c;
+                best = best.max(c as u32);
+            }
+        }
+    }
+    best
+}
+
+/// Dilation + congestion via bucketed counting (see module docs): route
+/// shards gather and partition in parallel, buckets count in parallel,
+/// and every merge is an integer max — the sharded result is bitwise
+/// identical to `parts == 1` by construction.
+fn dil_cong_bucketed(e: &Embedding, parts: usize) -> (u32, u32) {
+    let space = e.host().edge_index_space();
+    let nbuckets = space.max(1).div_ceil(BUCKET_WIDTH);
+    let n = e.routes().len();
+    let shards: Vec<ShardSteps> = if parts <= 1 || n < 2 {
+        vec![gather_shard(e, 0, n, nbuckets)]
+    } else {
+        let chunk = n.div_ceil(parts);
+        let bounds: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+        bounds
+            .into_par_iter()
+            .map(|(lo, hi)| gather_shard(e, lo, hi, nbuckets))
+            .collect()
+    };
+    let dil = shards.iter().map(|s| s.dil).max().unwrap_or(0);
+    let shards = &shards;
+    let congestion = if parts <= 1 || nbuckets < 2 {
+        bucket_group_max(shards, 0, nbuckets, space)
+    } else {
+        // One reused window per bucket group; groups oversplit so the
+        // pool can rebalance unevenly-loaded bucket ranges.
+        let group = nbuckets.div_ceil(parts * 4).max(1);
+        let groups: Vec<(usize, usize)> = (0..nbuckets)
+            .step_by(group)
+            .map(|blo| (blo, (blo + group).min(nbuckets)))
+            .collect();
+        groups
+            .into_par_iter()
+            .map(|(blo, bhi)| bucket_group_max(shards, blo, bhi, space))
+            .reduce(|| 0u32, u32::max)
+    };
+    (dil, congestion)
 }
 
 fn finish_metrics(e: &Embedding, dilation: u32, congestion: u32) -> Metrics {

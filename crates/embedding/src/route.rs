@@ -12,6 +12,12 @@
 pub struct RouteSet {
     offsets: Vec<u32>,
     nodes: Vec<u64>,
+    /// Maintained incrementally: `true` while every stored route has
+    /// exactly two nodes. Lets metrics/verify take the pair fast paths
+    /// (reading `nodes` as `(u, v)` lanes) without scanning `offsets` —
+    /// `nodes.len() == 2 * len()` alone would not prove it (a 3-node
+    /// route plus a 1-node route has the same totals).
+    pairs_only: bool,
 }
 
 impl Default for RouteSet {
@@ -29,6 +35,7 @@ impl RouteSet {
         RouteSet {
             offsets: vec![0],
             nodes: Vec::new(),
+            pairs_only: true,
         }
     }
 
@@ -40,6 +47,7 @@ impl RouteSet {
         RouteSet {
             offsets,
             nodes: Vec::with_capacity(total_nodes),
+            pairs_only: true,
         }
     }
 
@@ -51,6 +59,7 @@ impl RouteSet {
     /// length 0 is not a thing — guest graphs have no self-loops).
     pub fn push(&mut self, path: &[u64]) -> usize {
         assert!(!path.is_empty(), "empty route");
+        self.pairs_only &= path.len() == 2;
         self.nodes.extend_from_slice(path);
         self.offsets.push(self.nodes.len() as u32);
         self.offsets.len() - 2
@@ -71,6 +80,7 @@ impl RouteSet {
     /// workers over contiguous edge chunks.
     pub fn append(&mut self, other: &RouteSet) {
         let base = self.nodes.len() as u32;
+        self.pairs_only &= other.pairs_only || other.is_empty();
         self.nodes.extend_from_slice(&other.nodes);
         self.offsets
             .extend(other.offsets[1..].iter().map(|&o| base + o));
@@ -81,6 +91,7 @@ impl RouteSet {
         let before = self.nodes.len();
         self.nodes.extend(path);
         assert!(self.nodes.len() > before, "empty route");
+        self.pairs_only &= self.nodes.len() - before == 2;
         self.offsets.push(self.nodes.len() as u32);
         self.offsets.len() - 2
     }
@@ -122,6 +133,24 @@ impl RouteSet {
     pub fn span_length(&self, lo: usize, hi: usize) -> usize {
         debug_assert!(lo <= hi && hi <= self.len());
         (self.offsets[hi] - self.offsets[lo]) as usize - (hi - lo)
+    }
+
+    /// `true` while every stored route has exactly two nodes (the
+    /// dilation-1 shape all Gray-code embeddings produce). Gates the
+    /// metrics/verify pair fast paths.
+    #[inline]
+    pub fn all_pairs(&self) -> bool {
+        self.pairs_only
+    }
+
+    /// The raw node arena viewed as `(u, v)` endpoint lanes. Only
+    /// meaningful when [`RouteSet::all_pairs`] is `true`: lane `i` is
+    /// `(pairs[2i], pairs[2i+1])` — route `i` without the offsets
+    /// indirection.
+    #[inline]
+    pub fn pair_lanes(&self) -> &[u64] {
+        debug_assert!(self.pairs_only);
+        &self.nodes
     }
 
     /// Iterate over all routes.
@@ -173,6 +202,36 @@ mod tests {
         assert!(rs.is_empty());
         assert_eq!(rs.len(), 0);
         assert_eq!(rs.total_length(), 0);
+    }
+
+    #[test]
+    fn pairs_only_tracks_route_shapes() {
+        let mut rs = RouteSet::new();
+        assert!(rs.all_pairs());
+        rs.push_pair(0, 1);
+        rs.push(&[2, 3]);
+        rs.push_iter([4u64, 5]);
+        assert!(rs.all_pairs());
+        assert_eq!(rs.pair_lanes(), &[0, 1, 2, 3, 4, 5]);
+        let mut other = RouteSet::new();
+        other.push_pair(8, 9);
+        rs.append(&other);
+        assert!(rs.all_pairs());
+        // A 3-node route plus a 1-node route keeps nodes.len() == 2·len()
+        // but must clear the flag.
+        rs.push(&[6, 7, 7]);
+        rs.push(&[9]);
+        assert!(!rs.all_pairs());
+        // And appending a non-pair set clears it on the target.
+        let mut c = RouteSet::new();
+        c.push_pair(1, 2);
+        c.append(&rs);
+        assert!(!c.all_pairs());
+        // Appending an empty set never clears the flag.
+        let mut d = RouteSet::new();
+        d.push_pair(3, 4);
+        d.append(&RouteSet::new());
+        assert!(d.all_pairs());
     }
 
     #[test]

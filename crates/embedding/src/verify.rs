@@ -210,6 +210,9 @@ fn check_route_range(
     first_edge: usize,
     edges: impl Iterator<Item = (u32, u32)>,
 ) -> Result<(), VerifyError> {
+    if e.routes().all_pairs() {
+        return check_pair_route_range(e, first_edge, edges);
+    }
     let host = e.host();
     let routes = e.routes();
     let mut seen: Vec<u64> = Vec::new();
@@ -264,6 +267,60 @@ fn check_route_range(
             }
             seen.push(addr);
         }
+    }
+    Ok(())
+}
+
+/// [`check_route_range`] specialized for an all-pairs route arena (the
+/// shape every Gray construction produces): routes are read straight from
+/// the `(u, v)` lanes, skipping the offsets indirection and the
+/// `seen`-scratch machinery. Exactness: [`check_addresses`] has already
+/// validated every mapped address, so a pair route whose endpoints match
+/// the map and are cube-adjacent cannot fail the range or simple-path
+/// checks — and when a check fails, the error precedence below is the
+/// same one the generic scan applies (edge bounds, then start, then end,
+/// then step-0 adjacency).
+fn check_pair_route_range(
+    e: &Embedding,
+    first_edge: usize,
+    edges: impl Iterator<Item = (u32, u32)>,
+) -> Result<(), VerifyError> {
+    let map = e.map();
+    let n = e.guest_nodes();
+    let lanes = &e.routes().pair_lanes()[first_edge * 2..];
+    for (k, (u, v)) in edges.enumerate() {
+        let (nu, nv) = (u as usize, v as usize);
+        if nu >= n || nv >= n {
+            return Err(VerifyError::EdgeOutOfRange {
+                edge: first_edge + k,
+            });
+        }
+        let from = lanes[2 * k];
+        let to = lanes[2 * k + 1];
+        if from == map[nu] && to == map[nv] && (from ^ to).is_power_of_two() {
+            continue;
+        }
+        let i = first_edge + k;
+        if from != map[nu] {
+            return Err(VerifyError::RouteStartMismatch {
+                edge: i,
+                expected: map[nu],
+                found: from,
+            });
+        }
+        if to != map[nv] {
+            return Err(VerifyError::RouteEndMismatch {
+                edge: i,
+                expected: map[nv],
+                found: to,
+            });
+        }
+        return Err(VerifyError::RouteStepNotAdjacent {
+            edge: i,
+            step: 0,
+            from,
+            to,
+        });
     }
     Ok(())
 }
@@ -343,6 +400,30 @@ mod tests {
         assert!(matches!(
             both(&e).0,
             Err(VerifyError::RouteNotSimple { .. })
+        ));
+    }
+
+    #[test]
+    fn pair_fast_path_agrees_with_generic_scan() {
+        // Identical failing pair content; the second embedding carries an
+        // extra trailing 3-node route, forcing it down the generic scan.
+        // Both must report the same (first) error.
+        let map = vec![0u64, 1, 3, 7];
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 3)];
+        let pair_routes = vec![vec![0u64, 1], vec![1, 0], vec![3, 7]];
+        let a = build(map.clone(), edges.clone(), pair_routes.clone());
+        assert!(a.routes().all_pairs());
+        let mut edges2 = edges;
+        edges2.push((0, 3));
+        let mut routes2 = pair_routes;
+        routes2.push(vec![0, 4, 5, 7]);
+        let b = build(map, edges2, routes2);
+        assert!(!b.routes().all_pairs());
+        assert_eq!(verify_embedding_seq(&a), verify_embedding_seq(&b));
+        assert_eq!(verify_embedding_par(&a), verify_embedding_par(&b));
+        assert!(matches!(
+            verify_embedding_seq(&a),
+            Err(VerifyError::RouteEndMismatch { edge: 1, .. })
         ));
     }
 

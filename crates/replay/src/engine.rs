@@ -480,37 +480,57 @@ pub fn rate_sweep(
     seed: u64,
     switching: Switching,
 ) -> Result<Vec<SweepPoint>, ReplayError> {
+    use rayon::prelude::*;
     let _span = obs::span!("replay.sweep");
-    let mut points = Vec::with_capacity(rates.len());
-    for &(rate_num, rate_den) in rates {
-        let trace =
-            crate::synth::rate_trace(emb.guest_nodes(), flits, rate_num, rate_den, horizon, seed);
-        let cfg = ReplayConfig {
-            switching,
-            window: (horizon / 16).max(1),
-        };
-        let report = replay(emb, &trace, &cfg)?;
-        // Steady-state measurement interval: windows starting in
-        // [horizon/4, horizon).
-        let sw = (horizon / 4).div_ceil(cfg.window);
-        let measured: u64 = report
-            .windows
-            .iter()
-            .filter(|x| x.index >= sw && x.index * cfg.window < horizon)
-            .map(|x| x.delivered_flits)
-            .sum();
-        let interval = horizon.saturating_sub(sw * cfg.window).max(1);
-        points.push(SweepPoint {
-            rate_num,
-            rate_den,
-            offered_rate: report.offered_rate,
-            delivered_rate: measured as f64 / interval as f64,
-            avg_latency: report.result.avg_latency,
-            max_latency: report.result.max_latency,
-            makespan: report.result.makespan,
-        });
-    }
-    Ok(points)
+    // Each rate's replay is independent and seeded identically whether it
+    // runs on the caller or a pool worker; the order-preserving collect
+    // plus first-error-in-rate-order reporting keeps the parallel sweep
+    // byte-identical to the sequential loop.
+    let results: Vec<Result<SweepPoint, ReplayError>> = rates
+        .to_vec()
+        .into_par_iter()
+        .map(|(num, den)| sweep_point(emb, num, den, flits, horizon, seed, switching))
+        .collect();
+    results.into_iter().collect()
+}
+
+/// Replay one sweep rung: synthesize the rate trace, replay it, and
+/// reduce the windowed delivery series to the steady-state measurement.
+fn sweep_point(
+    emb: &Embedding,
+    rate_num: u64,
+    rate_den: u64,
+    flits: u32,
+    horizon: u64,
+    seed: u64,
+    switching: Switching,
+) -> Result<SweepPoint, ReplayError> {
+    let trace =
+        crate::synth::rate_trace(emb.guest_nodes(), flits, rate_num, rate_den, horizon, seed);
+    let cfg = ReplayConfig {
+        switching,
+        window: (horizon / 16).max(1),
+    };
+    let report = replay(emb, &trace, &cfg)?;
+    // Steady-state measurement interval: windows starting in
+    // [horizon/4, horizon).
+    let sw = (horizon / 4).div_ceil(cfg.window);
+    let measured: u64 = report
+        .windows
+        .iter()
+        .filter(|x| x.index >= sw && x.index * cfg.window < horizon)
+        .map(|x| x.delivered_flits)
+        .sum();
+    let interval = horizon.saturating_sub(sw * cfg.window).max(1);
+    Ok(SweepPoint {
+        rate_num,
+        rate_den,
+        offered_rate: report.offered_rate,
+        delivered_rate: measured as f64 / interval as f64,
+        avg_latency: report.result.avg_latency,
+        max_latency: report.result.max_latency,
+        makespan: report.result.makespan,
+    })
 }
 
 /// Index of the first sweep point past the saturation knee: delivered

@@ -1,21 +1,31 @@
 //! Offline shim for the subset of the `rayon` API this workspace uses.
 //!
 //! The build environment has no access to crates.io, so the workspace
-//! vendors a minimal data-parallel implementation backed by
-//! `std::thread::scope`. It covers exactly the call sites in this
-//! repository: `into_par_iter()` on integer ranges (and `Vec`), followed
-//! by `.map(f)` and a terminal `.sum()`, `.reduce(identity, op)` or
-//! `.collect()`.
+//! vendors a minimal data-parallel facade. It covers exactly the call
+//! sites in this repository: `into_par_iter()` on integer ranges (and
+//! `Vec`), followed by `.map(f)` and a terminal `.sum()`,
+//! `.reduce(identity, op)` or `.collect()`.
 //!
-//! Work is split into one contiguous chunk per available worker. Integer
-//! ranges are split *arithmetically* — chunk `c` of `start..end` is
-//! described by an offset and a length, never materialized — so
-//! paper-scale node ranges (hundreds of millions of indices) cost no
-//! memory. `Vec` inputs are split by moving out contiguous blocks.
+//! Execution is delegated to the persistent work-stealing pool in
+//! `cubemesh-pool` (DESIGN.md §10). This shim owns only the *splitting
+//! policy*: an input of `n` elements becomes `min(n, threads ×
+//! OVERSPLIT)` contiguous blocks, so the pool's steal-half rebalancing
+//! has enough granularity to absorb ragged per-element costs (census
+//! sweeps, axis-split searches, many-to-one folds) while per-task
+//! overhead stays negligible. Integer ranges are split *arithmetically*
+//! — block `c` of `start..end` is described by bounds, never
+//! materialized — so paper-scale node ranges (hundreds of millions of
+//! indices) cost no memory. `Vec` inputs are split by moving out
+//! contiguous blocks.
 //!
-//! Like real rayon, the worker count honours `RAYON_NUM_THREADS` (it is
-//! re-read per parallel region, so a bench can toggle it between runs);
-//! otherwise `std::thread::available_parallelism()` decides.
+//! Worker-count resolution and the backend honesty string both come
+//! from `cubemesh-pool` (`CUBEMESH_THREADS` > `RAYON_NUM_THREADS` >
+//! `available_parallelism()`, re-read per region); a worker panic is
+//! resumed on the calling thread with its original payload.
+//!
+//! Block results always come back in input order, and all reductions
+//! here fold the per-block partials in block order — stealing never
+//! changes output bytes (the determinism argument in DESIGN.md §10).
 //!
 //! # Analyzer contract
 //!
@@ -24,7 +34,10 @@
 //! *declares* its own surface with the annotations below, which the
 //! analyzer merges with its defaults — so adding a combinator here
 //! without annotating it shows up as an analysis gap in review, not as
-//! a silently unscanned parallel region.
+//! a silently unscanned parallel region. `run_tasks` is the pool's
+//! direct submission API: closures handed to it fan out exactly like
+//! `spawn`, so it is declared as a direct fan-out for the pool crate
+//! and any future caller.
 //!
 //! * audit: fanout-source(into_par_iter)
 //! * audit: fanout-entry(map)
@@ -33,41 +46,31 @@
 //! * audit: fanout-entry(collect)
 //! * audit: fanout-direct(spawn)
 //! * audit: fanout-direct(scope)
+//! * audit: fanout-direct(run_tasks)
 
 use std::ops::{Range, RangeInclusive};
-
-/// Number of worker threads to fan out across.
-fn workers() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+use std::sync::Mutex;
 
 /// The number of worker threads a parallel region would use right now
 /// (mirrors `rayon::current_num_threads`).
 pub fn current_num_threads() -> usize {
-    workers()
+    cubemesh_pool::effective_threads()
 }
 
 /// A stable name for the execution backend a parallel region would use
-/// right now. This is a *shim*, not real rayon: with one worker the
-/// region runs inline on the caller ("shim-sequential"); with more it
-/// fans out over `std::thread::scope` with one contiguous chunk per
-/// worker ("shim-scoped-threads"). Benchmarks embed this so baselines
-/// recorded on a 1-core host are not mistaken for work-stealing numbers.
+/// right now, from the pool's single source of truth: "pool-sequential"
+/// (one effective thread: regions run inline on the caller) or
+/// "pool-steal" (persistent work-stealing workers). Benchmarks embed
+/// this so baselines recorded on a 1-core host are not mistaken for
+/// multi-core numbers.
 pub fn backend() -> &'static str {
-    if workers() == 1 {
-        "shim-sequential"
-    } else {
-        "shim-scoped-threads"
-    }
+    cubemesh_pool::backend_name()
+}
+
+/// How many contiguous blocks to cut `len` elements into for `threads`
+/// workers: oversplit so stealing can rebalance ragged blocks.
+fn split_count(len: usize, threads: usize) -> usize {
+    len.min(threads * cubemesh_pool::OVERSPLIT)
 }
 
 /// Conversion into a (shim) parallel iterator — mirrors
@@ -84,7 +87,7 @@ enum Source<T> {
     /// An owned buffer, split into contiguous blocks.
     Items(Vec<T>),
     /// An arithmetic index space: element `i` is `make(i)`, `i < len`.
-    /// Nothing is materialized until a worker produces its own chunk.
+    /// Nothing is materialized until a worker produces its own block.
     Gen {
         len: usize,
         make: Box<dyn Fn(usize) -> T + Send + Sync>,
@@ -156,8 +159,8 @@ impl<T: Send> ParIter<T> {
     }
 }
 
-/// The result of [`ParIter::map`]; terminal operations run the map across
-/// worker threads.
+/// The result of [`ParIter::map`]; terminal operations run the map on
+/// the work-stealing pool.
 pub struct ParMap<T, F> {
     source: Source<T>,
     f: F,
@@ -169,7 +172,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    /// Apply the map across worker threads, preserving input order.
+    /// Apply the map across the pool, preserving input order.
     fn run(self) -> Vec<R> {
         let ParMap { source, f } = self;
         match source {
@@ -179,8 +182,8 @@ where
     }
 
     /// Sum the mapped values (mirrors `ParallelIterator::sum`). Each
-    /// worker sums its own chunk; only the per-worker partials are
-    /// combined at the end, so nothing is materialized.
+    /// block sums itself; only the per-block partials are combined at
+    /// the end (in block order), so nothing is materialized.
     pub fn sum<S>(self) -> S
     where
         S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
@@ -195,8 +198,8 @@ where
 
     /// Fold the mapped values with an identity constructor and an
     /// associative operator (mirrors `ParallelIterator::reduce`). Each
-    /// worker folds its own chunk from `identity()`; partials are folded
-    /// at the end.
+    /// block folds itself from `identity()`; partials are folded at the
+    /// end in block order.
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
     where
         ID: Fn() -> R + Sync,
@@ -226,8 +229,40 @@ where
     }
 }
 
-/// Fold an owned buffer across workers: each worker reduces its block
-/// through `finish`; the per-worker results come back in block order.
+/// Cut an owned buffer into contiguous blocks wrapped for by-value
+/// handoff to pool tasks (task `i` takes block `i` exactly once).
+fn blocks_of<T: Send>(items: Vec<T>, tasks: usize) -> Vec<Mutex<Option<Vec<T>>>> {
+    let per = items.len().div_ceil(tasks);
+    let mut rest = items;
+    let mut blocks = Vec::with_capacity(tasks);
+    while !rest.is_empty() {
+        let tail = rest.split_off(rest.len().min(per));
+        blocks.push(Mutex::new(Some(std::mem::replace(&mut rest, tail))));
+    }
+    blocks
+}
+
+/// Take block `i` out of its cell (each block is taken exactly once).
+fn take_block<T>(blocks: &[Mutex<Option<Vec<T>>>], i: usize) -> Vec<T> {
+    blocks[i]
+        .lock()
+        .map(|mut g| g.take())
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
+/// Arithmetic block bounds: `tasks` contiguous sub-ranges of `0..len`.
+fn bounds_of(len: usize, tasks: usize) -> Vec<(usize, usize)> {
+    let per = len.div_ceil(tasks);
+    (0..tasks)
+        .map(|w| (w * per, ((w + 1) * per).min(len)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Fold an owned buffer across the pool: each block reduces itself
+/// through `finish`; the per-block results come back in block order.
 fn fold_items<T, R, F, S, G>(items: Vec<T>, f: &F, finish: G) -> Vec<S>
 where
     T: Send,
@@ -240,33 +275,19 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = workers().min(n);
+    let threads = cubemesh_pool::effective_threads().min(n);
     if threads == 1 {
         return vec![finish(&mut items.into_iter().map(f))];
     }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk));
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-    let finish = &finish;
-    let mut out: Vec<S> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || finish(&mut c.into_iter().map(f))))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("shim rayon worker panicked"));
-        }
-    });
-    out
+    let blocks = blocks_of(items, split_count(n, threads));
+    let blocks = &blocks;
+    cubemesh_pool::run_tasks(blocks.len(), |i| {
+        finish(&mut take_block(blocks, i).into_iter().map(f))
+    })
 }
 
-/// Fold an arithmetic index space across workers (see [`fold_items`]).
-/// Chunk boundaries are computed, not collected.
+/// Fold an arithmetic index space across the pool (see [`fold_items`]).
+/// Block boundaries are computed, not collected.
 fn fold_gen<T, R, F, S, G>(
     len: usize,
     make: &(dyn Fn(usize) -> T + Send + Sync),
@@ -283,30 +304,19 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let threads = workers().min(len);
+    let threads = cubemesh_pool::effective_threads().min(len);
     if threads == 1 {
         return vec![finish(&mut (0..len).map(|i| f(make(i))))];
     }
-    let chunk = len.div_ceil(threads);
-    let bounds: Vec<(usize, usize)> = (0..threads)
-        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
-        .filter(|&(lo, hi)| lo < hi)
-        .collect();
-    let finish = &finish;
-    let mut out: Vec<S> = Vec::with_capacity(bounds.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .into_iter()
-            .map(|(lo, hi)| scope.spawn(move || finish(&mut (lo..hi).map(|i| f(make(i))))))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("shim rayon worker panicked"));
-        }
-    });
-    out
+    let bounds = bounds_of(len, split_count(len, threads));
+    let bounds = &bounds;
+    cubemesh_pool::run_tasks(bounds.len(), |i| {
+        let (lo, hi) = bounds[i];
+        finish(&mut (lo..hi).map(|j| f(make(j))))
+    })
 }
 
-/// Map an owned buffer across workers, block per worker, preserving order.
+/// Map an owned buffer across the pool, block per task, preserving order.
 fn run_items<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
@@ -317,32 +327,20 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = workers().min(n);
+    let threads = cubemesh_pool::effective_threads().min(n);
     if threads == 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk));
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("shim rayon worker panicked"));
-        }
+    let blocks = blocks_of(items, split_count(n, threads));
+    let blocks = &blocks;
+    let parts: Vec<Vec<R>> = cubemesh_pool::run_tasks(blocks.len(), |i| {
+        take_block(blocks, i).into_iter().map(f).collect()
     });
-    out.into_iter().flatten().collect()
+    parts.into_iter().flatten().collect()
 }
 
-/// Map an arithmetic index space across workers. Chunk boundaries are
-/// computed, not collected: worker `w` owns indices `[w·⌈n/t⌉, …)`.
+/// Map an arithmetic index space across the pool. Block boundaries are
+/// computed, not collected: task `w` owns indices `[w·⌈n/t⌉, …)`.
 fn run_gen<T, R, F>(len: usize, make: &(dyn Fn(usize) -> T + Send + Sync), f: &F) -> Vec<R>
 where
     T: Send,
@@ -352,28 +350,17 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let threads = workers().min(len);
+    let threads = cubemesh_pool::effective_threads().min(len);
     if threads == 1 {
         return (0..len).map(|i| f(make(i))).collect();
     }
-    let chunk = len.div_ceil(threads);
-    let bounds: Vec<(usize, usize)> = (0..threads)
-        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
-        .filter(|&(lo, hi)| lo < hi)
-        .collect();
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(bounds.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .into_iter()
-            .map(|(lo, hi)| {
-                scope.spawn(move || (lo..hi).map(|i| f(make(i))).collect::<Vec<R>>())
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("shim rayon worker panicked"));
-        }
+    let bounds = bounds_of(len, split_count(len, threads));
+    let bounds = &bounds;
+    let parts: Vec<Vec<R>> = cubemesh_pool::run_tasks(bounds.len(), |i| {
+        let (lo, hi) = bounds[i];
+        (lo..hi).map(|j| f(make(j))).collect()
     });
-    out.into_iter().flatten().collect()
+    parts.into_iter().flatten().collect()
 }
 
 /// The glob-import surface (mirrors `rayon::prelude`).
@@ -384,6 +371,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use cubemesh_pool::with_threads;
 
     #[test]
     fn map_sum_matches_sequential() {
@@ -430,6 +418,17 @@ mod tests {
     }
 
     #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let seq: Vec<usize> = (0usize..10_000).map(|x| x * 2).collect();
+        for t in [2, 8] {
+            let par: Vec<usize> = with_threads(t, || {
+                (0usize..10_000).into_par_iter().map(|x| x * 2).collect()
+            });
+            assert_eq!(par, seq, "threads={t}");
+        }
+    }
+
+    #[test]
     fn huge_range_is_not_materialized() {
         // Pre-fix, `into_par_iter()` eagerly collected the range into a
         // Vec — for this range that is 2^40 elements (8 TiB), an
@@ -447,5 +446,31 @@ mod tests {
     fn inclusive_range_endpoints() {
         let v: Vec<u32> = (7u32..=9).into_par_iter().map(|x| x).collect();
         assert_eq!(v, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_original_message() {
+        // The old scope-based shim died with `join().expect("shim rayon
+        // worker panicked")`, hiding the payload; the pool resumes the
+        // first panic's payload on the caller.
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let _: Vec<u64> = (0u64..256)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 77 {
+                            panic!("worker payload 77");
+                        }
+                        x
+                    })
+                    .collect();
+            })
+        });
+        let payload = match caught {
+            Err(p) => p,
+            Ok(_) => panic!("expected a propagated panic"),
+        };
+        let msg = payload.downcast_ref::<&str>().copied();
+        assert_eq!(msg, Some("worker payload 77"));
     }
 }

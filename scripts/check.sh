@@ -25,8 +25,13 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: cargo build --release && cargo test -q =="
+echo "== tier-1: cargo build --release && cargo test -q (pool width 1 + default) =="
+# The whole suite runs twice: once pinned to a single pool worker and
+# once at the host's native width. Divergence between the two runs means
+# a chunk merge or reduction is order-sensitive — exactly the bug class
+# the work-stealing executor must never expose.
 cargo build --release
+CUBEMESH_THREADS=1 cargo test -q
 cargo test -q
 
 echo "== audit: source lints (panic discipline, casts, concurrency) =="
@@ -130,6 +135,21 @@ diff /tmp/cubemesh_trace_a.seq /tmp/cubemesh_trace_b.seq
 rm -f /tmp/cubemesh_trace_{a,b}.json /tmp/cubemesh_trace_{a,b}.folded \
     /tmp/cubemesh_trace_{a,b}.jsonl /tmp/cubemesh_trace_{a,b}.seq
 echo "traced event sequences identical."
+
+echo "== pool: thread-count invariance (replay report JSON diff) =="
+# The same replay must serialize byte-identically whether the pool runs
+# one worker or eight: every fan-out merge is order-preserving and every
+# reduction is exact-integer, so stealing order must never show through.
+# The two reports are archived under target/ and diffed.
+CUBEMESH_THREADS=1 cargo run --release -q --bin cubemesh -- \
+    replay 3 5 5 --pattern bursty --horizon 128 --seed 13 --json \
+    > target/replay-threads-1.json
+CUBEMESH_THREADS=8 cargo run --release -q --bin cubemesh -- \
+    replay 3 5 5 --pattern bursty --horizon 128 --seed 13 --json \
+    > target/replay-threads-8.json
+diff target/replay-threads-1.json target/replay-threads-8.json
+echo "replay report identical at pool width 1 and 8" \
+     "(target/replay-threads-{1,8}.json)"
 
 echo "== replay: determinism + conservation smoke =="
 # --check replays the same recorded trace twice and exits non-zero unless

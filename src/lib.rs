@@ -11,6 +11,7 @@ pub use cubemesh_gray as gray;
 pub use cubemesh_manytoone as manytoone;
 pub use cubemesh_netsim as netsim;
 pub use cubemesh_obs as obs;
+pub use cubemesh_pool as pool;
 pub use cubemesh_replay as replay;
 pub use cubemesh_reshape as reshape;
 pub use cubemesh_search as search;

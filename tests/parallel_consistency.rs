@@ -151,6 +151,69 @@ fn planner_constructions_agree_across_engines() {
     }
 }
 
+/// Pool thread-count invariance: the *same* public entry points (no
+/// `_seq`/`_par` selection) must produce byte-identical artifacts whether
+/// the pool runs one worker, two, or eight — chunk merges are
+/// order-preserving and every reduction is exact-integer, so stealing
+/// order must never show through.
+#[test]
+fn artifacts_identical_across_thread_counts() {
+    use cubemesh::pool::with_threads;
+    let shape = Shape::new(&[6, 6, 6]);
+    let build = |threads: usize| {
+        with_threads(threads, || {
+            let emb = gray_mesh_embedding(&shape);
+            let map = emb.map().to_vec();
+            let routes: Vec<Vec<u64>> = emb.routes().iter().map(|r| r.to_vec()).collect();
+            let metrics = emb.metrics();
+            let verify = emb.verify();
+            (map, routes, metrics, verify)
+        })
+    };
+    let base = build(1);
+    for threads in [2usize, 8] {
+        let got = build(threads);
+        assert_eq!(got.0, base.0, "node map diverged at {threads} threads");
+        assert_eq!(got.1, base.1, "routes diverged at {threads} threads");
+        assert_eq!(got.2, base.2, "metrics diverged at {threads} threads");
+        assert_eq!(got.3, base.3, "verify diverged at {threads} threads");
+    }
+}
+
+/// Replay reports (windowed queueing series and sweep points) serialize
+/// to the same JSON under any pool width: the simulation itself is
+/// sequential per rate, and the sweep's parallel collect preserves rate
+/// order.
+#[test]
+fn replay_reports_identical_across_thread_counts() {
+    use cubemesh::netsim::Switching;
+    use cubemesh::pool::with_threads;
+    use cubemesh::replay::{rate_sweep, replay, ReplayConfig};
+    let shape = Shape::new(&[4, 4, 4]);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let emb = gray_mesh_embedding(&shape);
+            let trace = cubemesh::replay::rate_trace(emb.guest_nodes(), 4, 1, 8, 64, 11);
+            let cfg = ReplayConfig {
+                switching: Switching::StoreAndForward,
+                window: 8,
+            };
+            let report = replay(&emb, &trace, &cfg).expect("replay");
+            let rates = [(1u64, 16u64), (1, 4), (1, 1)];
+            let points =
+                rate_sweep(&emb, &rates, 4, 64, 7, Switching::StoreAndForward).expect("sweep");
+            let sweep_json: Vec<String> = points.iter().map(|p| p.to_json()).collect();
+            (report.to_json(), sweep_json)
+        })
+    };
+    let base = run(1);
+    for threads in [2usize, 8] {
+        let got = run(threads);
+        assert_eq!(got.0, base.0, "replay report diverged at {threads} threads");
+        assert_eq!(got.1, base.1, "sweep points diverged at {threads} threads");
+    }
+}
+
 #[test]
 fn zero_and_single_edge_guests_agree() {
     // Single node, no edges.
