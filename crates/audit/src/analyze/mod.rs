@@ -16,6 +16,11 @@
 //! | `CM-A006` | `relaxed-ordering` | `Ordering::Relaxed` outside the documented stat/trace guard files (`//! audit: relaxed-domain(…)`) |
 //! | `CM-A007` | `lock-order` | two functions acquiring the same pair of locks in opposite orders |
 //! | `CM-A008` | `span-guard-escape` | span guards whose drop is provably not LIFO: explicit out-of-order `drop`, `mem::forget`, or a guard returned/stored out of the opening scope |
+//! | `CM-A009` | `range-mul-overflow` | unchecked `*`/`<<` on shape/address-typed `usize` values whose proven interval can exceed 64 bits (interval dataflow over the [`crate::cfg`] CFG; `checked_*`/assert guards recognized) |
+//! | `CM-A010` | `range-add-overflow` | unchecked `+` where both operands are unbounded and at least one is shape/address-typed |
+//! | `CM-A011` | `taint-unchecked-sink` | an untrusted value (env read, annotated decode) reaching a slice index or `Vec::with_capacity` without a validation boundary |
+//! | `CM-A012` | `taint-unvalidated-shape` | an untrusted value reaching a `Shape::…` constructor without validation |
+//! | `CM-A013` | `dropped-result` | the `Result` of a workspace fallible function dropped (bare statement, `let _ =`, or a binding never read) |
 //!
 //! Every finding carries *call-path evidence* — the chain of qualified
 //! function names from the fan-out site to the sink — and a stable
@@ -34,13 +39,17 @@
 
 pub mod capture;
 pub mod ordering;
+pub mod range;
 pub mod reduction;
 pub mod regions;
+pub mod results;
 pub mod spans;
+pub mod taint;
 
 use crate::ast::Workspace;
 use crate::callgraph::CallGraph;
 use regions::Region;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -66,6 +75,16 @@ pub enum Code {
     LockOrder,
     /// Span guard provably breaks LIFO drop order.
     SpanGuardEscape,
+    /// Unchecked `*`/`<<` on a shape/address value that may overflow.
+    RangeMulOverflow,
+    /// Unchecked `+` on shape/address values that may overflow.
+    RangeAddOverflow,
+    /// Untrusted value reaches an index/capacity sink unvalidated.
+    TaintUncheckedSink,
+    /// Untrusted value reaches a shape constructor unvalidated.
+    TaintUnvalidatedShape,
+    /// `Result` of a workspace fallible function is dropped.
+    DroppedResult,
 }
 
 impl Code {
@@ -80,6 +99,11 @@ impl Code {
             Code::RelaxedOrdering => "CM-A006",
             Code::LockOrder => "CM-A007",
             Code::SpanGuardEscape => "CM-A008",
+            Code::RangeMulOverflow => "CM-A009",
+            Code::RangeAddOverflow => "CM-A010",
+            Code::TaintUncheckedSink => "CM-A011",
+            Code::TaintUnvalidatedShape => "CM-A012",
+            Code::DroppedResult => "CM-A013",
         }
     }
 
@@ -94,11 +118,16 @@ impl Code {
             Code::RelaxedOrdering => "relaxed-ordering",
             Code::LockOrder => "lock-order",
             Code::SpanGuardEscape => "span-guard-escape",
+            Code::RangeMulOverflow => "range-mul-overflow",
+            Code::RangeAddOverflow => "range-add-overflow",
+            Code::TaintUncheckedSink => "taint-unchecked-sink",
+            Code::TaintUnvalidatedShape => "taint-unvalidated-shape",
+            Code::DroppedResult => "dropped-result",
         }
     }
 
     /// All analyzer codes, in code order.
-    pub const ALL: [Code; 8] = [
+    pub const ALL: [Code; 13] = [
         Code::WorkerCaptureMut,
         Code::WorkerCaptureInterior,
         Code::WorkerReachStaticMut,
@@ -107,6 +136,11 @@ impl Code {
         Code::RelaxedOrdering,
         Code::LockOrder,
         Code::SpanGuardEscape,
+        Code::RangeMulOverflow,
+        Code::RangeAddOverflow,
+        Code::TaintUncheckedSink,
+        Code::TaintUnvalidatedShape,
+        Code::DroppedResult,
     ];
 }
 
@@ -333,6 +367,9 @@ pub struct Analysis {
     /// Wall time of the analysis (excluding file IO is not worth the
     /// complexity; this is end-to-end).
     pub elapsed_ms: u128,
+    /// Per-pass wall time, in run order — surfaced by `check.sh` so a
+    /// pass that blows the analyze budget is identifiable at a glance.
+    pub pass_ms: Vec<(&'static str, u128)>,
 }
 
 impl Analysis {
@@ -370,10 +407,28 @@ impl Analysis {
         }
 
         let mut findings = Vec::new();
+        let mut pass_ms: Vec<(&'static str, u128)> = Vec::new();
+        let mut t0 = Instant::now();
         capture::check(ws, &cg, &regions, &mut findings);
+        pass_ms.push(("capture", t0.elapsed().as_millis()));
+        t0 = Instant::now();
         reduction::check(ws, &cg, &regions, apis, &mut findings);
+        pass_ms.push(("reduction", t0.elapsed().as_millis()));
+        t0 = Instant::now();
         ordering::check(ws, &cg, &mut findings);
+        pass_ms.push(("ordering", t0.elapsed().as_millis()));
+        t0 = Instant::now();
         spans::check(ws, &mut findings);
+        pass_ms.push(("spans", t0.elapsed().as_millis()));
+        t0 = Instant::now();
+        range::check(ws, &mut findings);
+        pass_ms.push(("range", t0.elapsed().as_millis()));
+        t0 = Instant::now();
+        taint::check(ws, &mut findings);
+        pass_ms.push(("taint", t0.elapsed().as_millis()));
+        t0 = Instant::now();
+        results::check(ws, &mut findings);
+        pass_ms.push(("results", t0.elapsed().as_millis()));
 
         findings.retain(|f| !suppress.covers(&f.file, f.line, f.code.as_str()));
         findings.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
@@ -385,23 +440,75 @@ impl Analysis {
             regions: regions.len(),
             suppressions: suppress.len(),
             elapsed_ms: started.elapsed().as_millis(),
+            pass_ms,
         }
     }
 
     /// Render the run as the machine-readable gate artifact.
     pub fn to_json(&self) -> String {
         let body: Vec<String> = self.findings.iter().map(Finding::to_json).collect();
+        let passes: Vec<String> = self
+            .pass_ms
+            .iter()
+            .map(|(name, ms)| format!("\"{name}\":{ms}"))
+            .collect();
         format!(
             "{{\"schema\":\"cubemesh-audit-diag/v1\",\"tool\":\"analyze\",\"files\":{},\
              \"functions\":{},\"regions\":{},\"suppressions\":{},\"elapsed_ms\":{},\
+             \"pass_ms\":{{{}}},\
              \"findings\":[{}]}}",
             self.files,
             self.functions,
             self.regions,
             self.suppressions,
             self.elapsed_ms,
+            passes.join(","),
             body.join(",\n ")
         )
+    }
+}
+
+/// Parse a prior `analyze --json` artifact into the set of finding
+/// keys it contains, for `--baseline` diff mode.
+///
+/// Keys are `(code, file, message)` — line numbers are deliberately
+/// excluded so unrelated edits that shift a finding a few lines do not
+/// resurrect it past the baseline. A finding whose *message* changes
+/// (different sink expression, different bound) is new.
+pub fn baseline_keys(text: &str) -> Result<BTreeSet<(String, String, String)>, String> {
+    let doc = cubemesh_obs::parse_json(text)
+        .map_err(|(pos, msg)| format!("bad baseline JSON at byte {pos}: {msg}"))?;
+    let findings = doc
+        .get("findings")
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| "baseline has no \"findings\" array".to_owned())?;
+    let mut keys = BTreeSet::new();
+    for f in findings {
+        let field = |k: &str| f.get(k).and_then(|v| v.as_str()).map(str::to_owned);
+        match (field("code"), field("file"), field("message")) {
+            (Some(code), Some(file), Some(message)) => {
+                keys.insert((code, file, message));
+            }
+            _ => return Err("baseline finding missing code/file/message".to_owned()),
+        }
+    }
+    Ok(keys)
+}
+
+impl Analysis {
+    /// Drop findings whose `(code, file, message)` key appears in
+    /// `baseline` (see [`baseline_keys`]); returns how many were
+    /// suppressed. Run metadata is untouched.
+    pub fn apply_baseline(&mut self, baseline: &BTreeSet<(String, String, String)>) -> usize {
+        let before = self.findings.len();
+        self.findings.retain(|f| {
+            !baseline.contains(&(
+                f.code.as_str().to_owned(),
+                f.file.clone(),
+                f.message.clone(),
+            ))
+        });
+        before - self.findings.len()
     }
 }
 
@@ -455,6 +562,53 @@ mod tests {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
             assert!(c.as_str().starts_with("CM-A"));
         }
+    }
+
+    #[test]
+    fn baseline_roundtrip_suppresses_old_findings_only() {
+        let old = Finding {
+            code: Code::RangeMulOverflow,
+            file: "a.rs".into(),
+            line: 10,
+            message: "product may overflow".into(),
+            path: vec![],
+        };
+        let new = Finding {
+            code: Code::RangeMulOverflow,
+            file: "a.rs".into(),
+            line: 20,
+            message: "a different product".into(),
+            path: vec![],
+        };
+        let moved = Finding {
+            line: 99, // same key, shifted line: still baselined
+            ..old.clone()
+        };
+        let mut analysis = Analysis {
+            findings: vec![old.clone(), new.clone(), moved],
+            files: 1,
+            functions: 1,
+            regions: 0,
+            suppressions: 0,
+            elapsed_ms: 0,
+            pass_ms: vec![],
+        };
+        // Baseline = a prior run that saw only `old`.
+        let prior = Analysis {
+            findings: vec![old],
+            files: 1,
+            functions: 1,
+            regions: 0,
+            suppressions: 0,
+            elapsed_ms: 0,
+            pass_ms: vec![],
+        };
+        let keys = baseline_keys(&prior.to_json()).expect("artifact parses");
+        assert_eq!(keys.len(), 1);
+        assert_eq!(analysis.apply_baseline(&keys), 2);
+        assert_eq!(analysis.findings, vec![new]);
+        assert!(baseline_keys("not json").is_err());
+        assert!(baseline_keys("{\"tool\":\"analyze\"}").is_err());
     }
 
     #[test]

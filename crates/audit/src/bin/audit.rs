@@ -1,15 +1,19 @@
 //! The `cubemesh-audit` gate binary.
 //!
 //! ```text
-//! cubemesh-audit lint [--json] [--root DIR] [--allowlist FILE]
+//! cubemesh-audit lint [--json] [--sarif FILE] [--root DIR] [--allowlist FILE]
 //!     Run the workspace lints; print violations; exit 1 on any.
-//!     --json emits the shared cubemesh-audit-diag/v1 schema.
-//! cubemesh-audit analyze [--json] [--root DIR]
-//!     Run the interprocedural concurrency/determinism analyzer
-//!     (CM-A001..A008): worker-capture escapes, non-deterministic
-//!     reductions, lock/atomic discipline, span-stack balance. Exit 1
+//!     --json emits the shared cubemesh-audit-diag/v1 schema;
+//!     --sarif additionally writes a SARIF 2.1.0 log to FILE.
+//! cubemesh-audit analyze [--json] [--sarif FILE] [--baseline JSON] [--root DIR]
+//!     Run the interprocedural dataflow analyzer (CM-A001..A013):
+//!     worker-capture escapes, non-deterministic reductions,
+//!     lock/atomic discipline, span-stack balance, value-range
+//!     overflow proofs, taint tracking and dropped Results. Exit 1
 //!     on any finding; each finding carries call-path evidence from
-//!     the fan-out site to the sink.
+//!     the fan-out site to the sink. --baseline diffs against a prior
+//!     `analyze --json` artifact and reports only new findings;
+//!     --sarif writes the (post-baseline) findings as SARIF 2.1.0.
 //! cubemesh-audit certify [--json] [--sweep N] [L1 [L2 L3]]
 //!     Certify shapes and report certificate vs proven floor per
 //!     figure of merit. With explicit extents, one shape; with
@@ -102,6 +106,21 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Write a SARIF 2.1.0 log for `diags` to `path` (from `--sarif`).
+fn write_sarif(path: &str, tool: &str, diags: &[cubemesh_audit::sarif::Diag]) -> bool {
+    let log = cubemesh_audit::sarif::to_sarif(tool, diags);
+    match std::fs::write(path, log) {
+        Ok(()) => {
+            eprintln!("sarif: {} result(s) -> {path}", diags.len());
+            true
+        }
+        Err(e) => {
+            eprintln!("cubemesh-audit: cannot write SARIF to {path}: {e}");
+            false
+        }
+    }
+}
+
 fn cmd_lint(args: &[String]) -> ExitCode {
     let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_owned()));
     let json = args.iter().any(|a| a == "--json");
@@ -116,9 +135,17 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         }
     };
     let entries = allow.len();
+    let sarif_out = flag_value(args, "--sarif");
     let started = std::time::Instant::now();
     match lint_workspace(&root, allow) {
         Ok(violations) => {
+            if let Some(path) = &sarif_out {
+                let diags: Vec<cubemesh_audit::sarif::Diag> =
+                    violations.iter().map(Into::into).collect();
+                if !write_sarif(path, "cubemesh-audit lint", &diags) {
+                    return ExitCode::from(2);
+                }
+            }
             if json {
                 let mut files = Vec::new();
                 let nfiles = cubemesh_audit::lint::walk_lib_sources(&root, &mut files)
@@ -157,16 +184,53 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 fn cmd_analyze(args: &[String]) -> ExitCode {
     let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_owned()));
     let json = args.iter().any(|a| a == "--json");
+    let sarif_out = flag_value(args, "--sarif");
+    // Baseline diff mode: load the prior `analyze --json` artifact up
+    // front so a bad path fails before the (multi-second) analysis.
+    let baseline = match flag_value(args, "--baseline") {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cubemesh-audit: cannot read baseline {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match cubemesh_audit::baseline_keys(&text) {
+                Ok(keys) => Some(keys),
+                Err(e) => {
+                    eprintln!("cubemesh-audit: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
     match cubemesh_audit::Analysis::run_root(&root) {
-        Ok(analysis) => {
+        Ok(mut analysis) => {
+            let baselined = baseline
+                .map(|keys| analysis.apply_baseline(&keys))
+                .unwrap_or(0);
+            if let Some(path) = &sarif_out {
+                let diags: Vec<cubemesh_audit::sarif::Diag> =
+                    analysis.findings.iter().map(Into::into).collect();
+                if !write_sarif(path, "cubemesh-audit analyze", &diags) {
+                    return ExitCode::from(2);
+                }
+            }
             if json {
                 println!("{}", analysis.to_json());
             } else {
                 for f in &analysis.findings {
                     println!("{f}");
                 }
+                let diffed = if baselined > 0 {
+                    format!(" ({baselined} baselined)")
+                } else {
+                    String::new()
+                };
                 println!(
-                    "audit analyze: {} finding(s) | {} files, {} functions, {} parallel \
+                    "audit analyze: {} finding(s){diffed} | {} files, {} functions, {} parallel \
                      regions, {} suppression(s) | {} ms",
                     analysis.findings.len(),
                     analysis.files,

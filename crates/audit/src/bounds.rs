@@ -29,7 +29,7 @@
 //! * **Load (pigeonhole):** `⌈|V| / 2ⁿ⌉` guest nodes must share some
 //!   processor.
 
-use cubemesh_topology::Shape;
+use cubemesh_topology::{Hypercube, Shape};
 
 /// Lower bounds no embedding of a given guest into `Q_{host_dim}` can
 /// beat. `0` means "no nontrivial floor known".
@@ -51,6 +51,12 @@ pub struct Floors {
 fn cut_average_congestion(edges: usize, host_dim: u32) -> u32 {
     if edges == 0 || host_dim == 0 {
         return u32::from(edges > 0);
+    }
+    if host_dim > Hypercube::MAX_DIM {
+        // n·2^{n−1} beyond MAX_DIM dwarfs any admissible edge count
+        // (< 2⁴⁸), so the average is below 1 and the floor is the
+        // unconditional 1 — computed without overflowing the shift.
+        return 1;
     }
     let host_edges = (host_dim as u64) << (host_dim - 1);
     ((edges as u64).div_ceil(host_edges) as u32).max(1)

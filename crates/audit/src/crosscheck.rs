@@ -30,6 +30,13 @@ pub enum CrosscheckError {
         /// The certification failure.
         error: AuditError,
     },
+    /// The certified plan could not be lowered to an embedding.
+    Construct {
+        /// The failing shape.
+        shape: Shape,
+        /// The lowering failure.
+        error: cubemesh_core::ConstructError,
+    },
     /// The constructed embedding failed semantic verification.
     Verify {
         /// The failing shape.
@@ -101,6 +108,9 @@ impl fmt::Display for CrosscheckError {
         match self {
             CrosscheckError::Audit { shape, error } => {
                 write!(f, "{shape}: static audit failed: {error}")
+            }
+            CrosscheckError::Construct { shape, error } => {
+                write!(f, "{shape}: plan lowering failed: {error}")
             }
             CrosscheckError::Verify { shape, error } => {
                 write!(f, "{shape}: constructed embedding invalid: {error}")
@@ -191,7 +201,10 @@ pub fn crosscheck_shape(
     })?;
     check_floors(shape, &cert, &mesh_floors(shape, cert.host_dim))?;
     if construct_it {
-        let emb = construct(shape, &plan);
+        let emb = construct(shape, &plan).map_err(|error| CrosscheckError::Construct {
+            shape: shape.clone(),
+            error,
+        })?;
         emb.verify().map_err(|error| CrosscheckError::Verify {
             shape: shape.clone(),
             error,
@@ -363,7 +376,10 @@ pub fn crosscheck_contract_shape(
         .map(|(&l, &f)| l * f)
         .collect();
     let big = Shape::new(&big_dims);
-    let base_emb = construct(base_shape, &plan);
+    let base_emb = construct(base_shape, &plan).map_err(|error| CrosscheckError::Construct {
+        shape: base_shape.clone(),
+        error,
+    })?;
     let emb = contract(base_shape, &base_emb, factors);
     verify_many_to_one(&emb).map_err(|error| CrosscheckError::Verify {
         shape: big.clone(),

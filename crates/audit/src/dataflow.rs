@@ -1,0 +1,141 @@
+//! A generic forward dataflow solver over [`crate::cfg::Cfg`].
+//!
+//! The solver runs the classic worklist algorithm: the in-state of a
+//! block is the join of its predecessors' out-states, the out-state is
+//! the pass's transfer function applied to the in-state, and blocks are
+//! revisited until nothing changes. Loops terminate because states form
+//! a join-semilattice and, as a backstop for lattices with infinite
+//! ascending chains (intervals), the solver *widens* at loop heads
+//! after a fixed number of visits — the pass's `widen` is required to
+//! jump to a post-fixpoint (typically: unbounded interval ends go to
+//! top).
+
+use crate::cfg::Cfg;
+
+/// A join-semilattice of abstract states.
+pub trait Lattice: Clone {
+    /// The least element (used for unreachable blocks).
+    fn bottom() -> Self;
+    /// In-place join; returns `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+    /// Widening: like join, but must guarantee termination on infinite
+    /// ascending chains. Defaults to `join` for finite lattices.
+    fn widen(&mut self, other: &Self) -> bool {
+        self.join(other)
+    }
+}
+
+/// A pass's transfer function: how one block transforms a state.
+pub trait Transfer {
+    /// The abstract state.
+    type State: Lattice;
+    /// Apply block `b`'s effect to `state` (in place).
+    fn transfer(&self, cfg: &Cfg, b: usize, state: &mut Self::State);
+}
+
+/// Visits to a loop head before switching from join to widen.
+const WIDEN_AFTER: usize = 3;
+/// Hard iteration backstop: a pass whose widening fails to converge is
+/// cut off rather than hanging the gate (the result is still sound for
+/// the passes here, which only ever *add* reachable facts).
+const MAX_STEPS_PER_BLOCK: usize = 64;
+
+/// Solve the forward dataflow problem; returns the **in**-state of
+/// every block (the out-state is `transfer(in)` and is recomputed by
+/// callers that need it — states are small).
+pub fn solve<T: Transfer>(cfg: &Cfg, t: &T, entry_state: T::State) -> Vec<T::State> {
+    let n = cfg.blocks.len();
+    let mut input: Vec<T::State> = vec![T::State::bottom(); n];
+    let mut visits = vec![0usize; n];
+    input[cfg.entry] = entry_state;
+
+    let heads = cfg.loop_heads();
+    let mut work: Vec<usize> = vec![cfg.entry];
+    let mut queued = vec![false; n];
+    queued[cfg.entry] = true;
+    let mut steps = 0usize;
+    let budget = n * MAX_STEPS_PER_BLOCK;
+
+    while let Some(b) = work.pop() {
+        queued[b] = false;
+        steps += 1;
+        if steps > budget {
+            break;
+        }
+        visits[b] += 1;
+        let mut out = input[b].clone();
+        t.transfer(cfg, b, &mut out);
+        for e in &cfg.blocks[b].succs {
+            let widen = heads.contains(&e.to) && visits[b] >= WIDEN_AFTER;
+            let changed = if widen {
+                input[e.to].widen(&out)
+            } else {
+                input[e.to].join(&out)
+            };
+            if changed && !queued[e.to] {
+                queued[e.to] = true;
+                work.push(e.to);
+            }
+        }
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Workspace;
+    use crate::cfg::Cfg;
+    use std::collections::BTreeSet;
+
+    /// A tiny reaching-tokens lattice: the set of block ids seen.
+    #[derive(Clone, PartialEq)]
+    struct Seen(BTreeSet<usize>);
+
+    impl Lattice for Seen {
+        fn bottom() -> Self {
+            Seen(BTreeSet::new())
+        }
+        fn join(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().copied());
+            self.0.len() != before
+        }
+    }
+
+    struct Collect;
+    impl Transfer for Collect {
+        type State = Seen;
+        fn transfer(&self, _cfg: &Cfg, b: usize, state: &mut Seen) {
+            state.0.insert(b);
+        }
+    }
+
+    fn cfg_of(src: &str) -> Cfg {
+        let mut ws = Workspace::default();
+        ws.add_file("lib.rs", src.to_owned());
+        let f = ws.fns.iter().find(|f| !f.is_closure).unwrap();
+        Cfg::build(&ws.files[f.file], f)
+    }
+
+    #[test]
+    fn reaches_fixpoint_on_loops() {
+        let cfg = cfg_of(
+            "fn f(n: usize) -> usize {\n    let mut s = 0;\n    for i in 0..n {\n        if i > 3 { s += 2; } else { s += 1; }\n    }\n    s\n}\n",
+        );
+        let states = solve(&cfg, &Collect, Seen(BTreeSet::new()));
+        // The exit block must have seen the entry and the loop head.
+        let exit_in = &states[cfg.exit];
+        assert!(exit_in.0.contains(&cfg.entry));
+        for h in cfg.loop_heads() {
+            assert!(exit_in.0.contains(&h), "loop head {h} reaches exit");
+        }
+    }
+
+    #[test]
+    fn straight_line_propagates() {
+        let cfg = cfg_of("fn f() -> u32 { 1 }\n");
+        let states = solve(&cfg, &Collect, Seen(BTreeSet::new()));
+        assert!(states[cfg.exit].0.contains(&cfg.entry));
+    }
+}

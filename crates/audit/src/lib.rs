@@ -28,20 +28,32 @@
 //!   (`CM-A001`–`A003`), reductions deterministic under chunk reorder
 //!   (`CM-A004`–`A005`), atomics/locks disciplined (`CM-A006`–`A007`),
 //!   and span guards LIFO (`CM-A008`) — each finding carrying call-path
-//!   evidence from the fan-out site to the sink.
+//!   evidence from the fan-out site to the sink. On top of the same
+//!   front end sits a dataflow engine — an intraprocedural [`cfg`] and
+//!   a generic worklist solver with widening ([`dataflow`]) — powering
+//!   value-range overflow proofs on shape/address arithmetic
+//!   (`CM-A009`–`A010`), taint tracking from untrusted inputs to
+//!   index/capacity/constructor sinks (`CM-A011`–`A012`), and def-use
+//!   dropped-`Result` analysis (`CM-A013`). Findings serialize in the
+//!   shared `cubemesh-audit-diag/v1` schema, diff against a prior
+//!   artifact ([`analyze::baseline_keys`], `analyze --baseline`), and
+//!   export as SARIF 2.1.0 ([`sarif`]) for editor/CI annotation.
 
 pub mod analyze;
 pub mod ast;
 pub mod bounds;
 pub mod callgraph;
 pub mod certificate;
+pub mod cfg;
 pub mod crosscheck;
+pub mod dataflow;
 pub mod lexer;
 pub mod lint;
 pub mod manytoone;
+pub mod sarif;
 pub mod torus;
 
-pub use analyze::{Analysis, Code, FanoutApis, Finding};
+pub use analyze::{baseline_keys, Analysis, Code, FanoutApis, Finding};
 pub use bounds::{manytoone_floors, mesh_floors, torus_floors, Floors};
 pub use certificate::{certify, check_plan, dilation_floor, AuditError, Certificate};
 pub use crosscheck::{

@@ -40,7 +40,7 @@ pub fn certify_contract(base_shape: &Shape, base: &Certificate, factors: &[usize
         })
         .max()
         .unwrap_or(1);
-    let big_nodes = base_shape.nodes() as u64 * load_mult;
+    let big_nodes = (base_shape.nodes() as u64).saturating_mul(load_mult);
     let load = base.load_factor * load_mult;
     let congestion = (base.congestion_bound as u64)
         .saturating_mul(co_factor)
@@ -116,8 +116,11 @@ pub fn certify_fold(shape: &Shape, plan: &FoldPlan) -> Result<Certificate, Audit
         .max()
         .unwrap_or(1);
     let folds = total_n - n;
-    let load = lprod << folds;
-    let congestion = (co_factor << folds).min(u32::MAX as u64) as u32;
+    let load = lprod.checked_shl(folds).unwrap_or(u64::MAX);
+    let congestion = co_factor
+        .checked_shl(folds)
+        .unwrap_or(u64::MAX)
+        .min(u32::MAX as u64) as u32;
     let floor = optimal_load_factor(shape.nodes(), n);
     if load < floor {
         return Err(AuditError::LoadBelowFloor {

@@ -12,7 +12,7 @@ use std::path::Path;
 
 /// `(fixture file, the one code it must trip)`, covering all of
 /// [`Code::ALL`].
-const CORPUS: [(&str, Code); 8] = [
+const CORPUS: [(&str, Code); 13] = [
     ("a001_worker_capture_mut.rs", Code::WorkerCaptureMut),
     (
         "a002_worker_capture_interior.rs",
@@ -27,6 +27,14 @@ const CORPUS: [(&str, Code); 8] = [
     ("a006_relaxed_ordering.rs", Code::RelaxedOrdering),
     ("a007_lock_order.rs", Code::LockOrder),
     ("a008_span_guard_escape.rs", Code::SpanGuardEscape),
+    ("a009_range_overflow_mul.rs", Code::RangeMulOverflow),
+    ("a010_range_overflow_add.rs", Code::RangeAddOverflow),
+    ("a011_taint_unchecked_sink.rs", Code::TaintUncheckedSink),
+    (
+        "a012_taint_unvalidated_shape.rs",
+        Code::TaintUnvalidatedShape,
+    ),
+    ("a013_dropped_result.rs", Code::DroppedResult),
 ];
 
 fn analyze_fixture(name: &str) -> Analysis {

@@ -1,0 +1,11 @@
+//! Known-bad: an unchecked product of a shape-typed node count and an
+//! arbitrary factor can exceed `u64` (CM-A009). The checked variant
+//! (`nodes.checked_mul(record_bytes)`) or an `audit:allow` with a
+//! relational justification is the accepted fix.
+
+/// Bytes needed to store one record per node — `nodes` is bounded by the
+/// addressability invariant, but `record_bytes` is arbitrary, so the
+/// product is not.
+pub fn payload_bytes(nodes: usize, record_bytes: usize) -> usize {
+    nodes * record_bytes
+}

@@ -1,0 +1,8 @@
+//! Known-bad: an unchecked sum of two unbounded shape-typed values
+//! (CM-A010). `checked_add` or a guard (`assert!(a <= LIMIT)`) fixes it.
+
+/// Both operands are shape-typed (the `shape` substring) with no
+/// invariant bound, so the sum may wrap.
+pub fn combined(shape_total: usize, shape_extra: usize) -> usize {
+    shape_total + shape_extra
+}

@@ -1,0 +1,13 @@
+//! Known-bad: an environment read flows into a slice index without a
+//! validation boundary (CM-A011). Bounding (`k.min(xs.len() - 1)`) or a
+//! `validate_*` call on the statement clears it.
+
+use std::env;
+
+pub fn pick(xs: &[u32]) -> u32 {
+    let k: usize = env::var("CUBEMESH_K")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    xs[k]
+}

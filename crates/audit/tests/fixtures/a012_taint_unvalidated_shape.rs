@@ -1,0 +1,21 @@
+//! Known-bad: an untrusted axis length reaches a `Shape` constructor
+//! without validation (CM-A012). Routing it through a `validate_*`
+//! boundary first is the accepted fix.
+
+use std::env;
+
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    pub fn new(extents: Vec<usize>) -> Shape {
+        Shape(extents)
+    }
+}
+
+pub fn shape_from_env() -> Shape {
+    let axis: usize = env::var("CUBEMESH_AXIS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    Shape::new(vec![axis])
+}

@@ -1,0 +1,15 @@
+//! Known-bad: the `Result` of a workspace fallible function is silently
+//! dropped (CM-A013). Propagate with `?`, match on the error, or keep a
+//! read binding.
+
+pub fn save_counts(x: u32) -> Result<(), String> {
+    if x > 0 {
+        Ok(())
+    } else {
+        Err("zero".to_owned())
+    }
+}
+
+pub fn run(x: u32) {
+    save_counts(x);
+}

@@ -33,7 +33,9 @@ fn bench_construction(c: &mut Criterion) {
         let shape = Shape::new(&dims);
         let plan = Planner::new().plan(&shape).expect("plannable");
         group.bench_function(shape.to_string(), |b| {
-            b.iter(|| black_box(construct(black_box(&shape), black_box(&plan))))
+            b.iter(|| {
+                black_box(construct(black_box(&shape), black_box(&plan)).expect("plan lowers"))
+            })
         });
     }
     group.finish();

@@ -72,12 +72,12 @@ fn bench_trace_overhead(_c: &mut Criterion) {
 
     obs::set_enabled(false);
     obs::trace::set_enabled(false);
-    let baseline = median_secs(samples, || construct(&shape, &plan));
-    let disabled = median_secs(samples, || construct(&shape, &plan));
+    let baseline = median_secs(samples, || construct(&shape, &plan).expect("plan lowers"));
+    let disabled = median_secs(samples, || construct(&shape, &plan).expect("plan lowers"));
 
     obs::trace::set_enabled(true);
     let enabled = median_secs(samples, || {
-        let e = construct(&shape, &plan);
+        let e = construct(&shape, &plan).expect("plan lowers");
         // Keep the per-thread buffers bounded across samples.
         let _ = obs::trace::drain();
         e

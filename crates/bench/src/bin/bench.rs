@@ -139,7 +139,7 @@ fn run_pipeline(dims: &[usize], reps: usize) -> Option<(Rung, Embedding)> {
     let mut kept: Option<(Embedding, cubemesh_embedding::Metrics)> = None;
     for _ in 0..reps.max(1) {
         drop(kept.take()); // free the previous repetition before building anew
-        let (emb, c) = time(|| construct(&shape, &plan));
+        let (emb, c) = time(|| construct(&shape, &plan).expect("planner-produced plan lowers"));
         construct_s = construct_s.min(c);
         let (m, ms) = time(|| emb.metrics());
         metrics_s = metrics_s.min(ms);
@@ -483,7 +483,8 @@ fn main() -> ExitCode {
             let (mut seq_construct_s, mut seq_metrics_s) = (f64::MAX, f64::MAX);
             let mut m_seq = m_par;
             for _ in 0..reps.max(1) {
-                let (emb_seq, c) = time(|| construct(&shape, &plan));
+                let (emb_seq, c) =
+                    time(|| construct(&shape, &plan).expect("planner-produced plan lowers"));
                 seq_construct_s = seq_construct_s.min(c);
                 let (m, ms) = time(|| emb_seq.metrics());
                 seq_metrics_s = seq_metrics_s.min(ms);

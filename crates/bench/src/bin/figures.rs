@@ -187,7 +187,7 @@ fn examples() {
         let shape = Shape::new(&dims);
         match planner.plan(&shape) {
             Some(plan) => {
-                let emb = construct(&shape, &plan);
+                let emb = construct(&shape, &plan).expect("planner-produced plan lowers");
                 emb.verify().expect("constructed embedding must verify");
                 let m = emb.metrics();
                 println!(

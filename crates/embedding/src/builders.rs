@@ -32,7 +32,7 @@ pub fn node_chunks(nodes: usize) -> Vec<Range<usize>> {
     }
     let chunk = nodes.div_ceil(threads);
     (0..threads)
-        .map(|w| (w * chunk).min(nodes)..((w + 1) * chunk).min(nodes))
+        .map(|w| w.saturating_mul(chunk).min(nodes)..(w + 1).saturating_mul(chunk).min(nodes))
         .filter(|r| !r.is_empty())
         .collect()
 }
@@ -99,6 +99,7 @@ impl MeshEdgeView {
             let len = self.shape.len(a);
             let period = stride * len;
             let carry = stride * (len - 1);
+            // audit:allow(CM-A009): carry < period, so (node/period)·carry <= node
             total += (node / period) * carry + (node % period).min(carry);
         }
         total
@@ -238,7 +239,7 @@ fn gray_node_map(shape: &Shape, layout: &AxisLayout) -> Vec<u64> {
         return fill_node_map(shape, |c| gray_mesh_address(layout, c));
     }
     let last = shape.len(rank - 1);
-    let shift = layout.offset(rank - 1);
+    let shift = layout.bit_offset(rank - 1);
     let fill = |range: Range<usize>| {
         let mut part = vec![0u64; range.len()];
         let mut coords = vec![0usize; rank];

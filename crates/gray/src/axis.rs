@@ -13,7 +13,7 @@ use cubemesh_topology::{cube_dim, Shape};
 pub struct AxisLayout {
     widths: Vec<u32>,
     /// Offset of each axis' field from the least significant bit.
-    offsets: Vec<u32>,
+    bit_offsets: Vec<u32>,
     total: u32,
 }
 
@@ -29,15 +29,15 @@ impl AxisLayout {
     pub fn with_widths(widths: &[u32]) -> Self {
         let total: u32 = widths.iter().sum();
         assert!(total <= 63, "cube address would exceed 63 bits");
-        let mut offsets = vec![0u32; widths.len()];
+        let mut bit_offsets = vec![0u32; widths.len()];
         let mut acc = 0;
         for i in (0..widths.len()).rev() {
-            offsets[i] = acc;
+            bit_offsets[i] = acc;
             acc += widths[i];
         }
         AxisLayout {
             widths: widths.to_vec(),
-            offsets,
+            bit_offsets,
             total,
         }
     }
@@ -62,8 +62,8 @@ impl AxisLayout {
 
     /// Offset (from LSB) of `axis`'s field.
     #[inline]
-    pub fn offset(&self, axis: usize) -> u32 {
-        self.offsets[axis]
+    pub fn bit_offset(&self, axis: usize) -> u32 {
+        self.bit_offsets[axis]
     }
 
     /// Assemble an address from per-axis field values.
@@ -73,7 +73,7 @@ impl AxisLayout {
         let mut addr = 0u64;
         for (i, &p) in parts.iter().enumerate() {
             debug_assert!(self.widths[i] == 64 || p < (1u64 << self.widths[i]));
-            addr |= p << self.offsets[i];
+            addr |= p << self.bit_offsets[i];
         }
         addr
     }
@@ -81,7 +81,7 @@ impl AxisLayout {
     /// Extract `axis`'s field value from an address.
     #[inline]
     pub fn extract(&self, addr: u64, axis: usize) -> u64 {
-        (addr >> self.offsets[axis]) & ((1u64 << self.widths[axis]) - 1)
+        (addr >> self.bit_offsets[axis]) & ((1u64 << self.widths[axis]) - 1)
     }
 }
 
@@ -90,7 +90,7 @@ impl AxisLayout {
 pub fn gray_mesh_address(layout: &AxisLayout, coords: &[usize]) -> u64 {
     let mut addr = 0u64;
     for (i, &x) in coords.iter().enumerate() {
-        addr |= gray(x as u64) << layout.offset(i);
+        addr |= gray(x as u64) << layout.bit_offset(i);
     }
     addr
 }
@@ -119,7 +119,7 @@ pub fn gray_mesh_address_reflected(
         } else {
             gray_reflected(x as u64, w)
         };
-        addr |= code << layout.offset(i);
+        addr |= code << layout.bit_offset(i);
     }
     addr
 }
@@ -133,9 +133,9 @@ mod tests {
     fn layout_fields_are_disjoint_and_cover() {
         let layout = AxisLayout::with_widths(&[3, 0, 2, 4]);
         assert_eq!(layout.total_dim(), 9);
-        assert_eq!(layout.offset(0), 6);
-        assert_eq!(layout.offset(2), 4);
-        assert_eq!(layout.offset(3), 0);
+        assert_eq!(layout.bit_offset(0), 6);
+        assert_eq!(layout.bit_offset(2), 4);
+        assert_eq!(layout.bit_offset(3), 0);
         let addr = layout.assemble(&[0b101, 0, 0b11, 0b1001]);
         assert_eq!(layout.extract(addr, 0), 0b101);
         assert_eq!(layout.extract(addr, 2), 0b11);

@@ -57,7 +57,7 @@ mod snapshot;
 mod span;
 pub mod trace;
 
-pub use json::{parse as parse_json, JsonValue};
+pub use json::{escape_into as json_escape_into, parse as parse_json, JsonValue};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use progress::Progress;
 pub use registry::{counter_named, histogram_named, reset, snapshot, Registry};

@@ -378,7 +378,7 @@ pub fn replay(
         }
         let busy = pick(&observer.busy);
         let max_queue_depth = pick(&observer.max_queue);
-        let occupancy = busy as f64 / (n_links * window).max(1) as f64;
+        let occupancy = busy as f64 / n_links.saturating_mul(window).max(1) as f64;
         obs::trace::gauge("replay.window.max_queue_depth", max_queue_depth);
         // Occupancy is a [0,1] ratio; gauges carry u64, so export permille.
         obs::trace::gauge(
@@ -407,7 +407,7 @@ pub fn replay(
     // start is inside the horizon count whole — a window-granular cut).
     let delivered_by_horizon_flits: u64 = windows
         .iter()
-        .filter(|w| w.index * window < horizon)
+        .filter(|w| w.index.saturating_mul(window) < horizon)
         .map(|w| w.delivered_flits)
         .sum();
     let h = horizon.max(1) as f64;

@@ -19,7 +19,7 @@
 use crate::engine::{replay, ReplayConfig, ReplayError};
 use crate::synth::stencil_trace;
 use cubemesh_audit::{check_plan, AuditError, Certificate};
-use cubemesh_core::{construct, Planner};
+use cubemesh_core::{construct, ConstructError, Planner};
 use cubemesh_netsim::Switching;
 use cubemesh_obs as obs;
 use cubemesh_topology::Shape;
@@ -36,6 +36,8 @@ pub enum SlackError {
     },
     /// The plan failed static certification (a planner bug).
     Audit(AuditError),
+    /// The certified plan could not be lowered to an embedding.
+    Construct(ConstructError),
     /// The replay itself failed.
     Replay(ReplayError),
     /// The measured dynamic peak exceeded the certified ceiling — the
@@ -60,6 +62,7 @@ impl fmt::Display for SlackError {
                 )
             }
             SlackError::Audit(e) => write!(f, "static certification failed: {e}"),
+            SlackError::Construct(e) => write!(f, "plan lowering failed: {e}"),
             SlackError::Replay(e) => write!(f, "replay failed: {e}"),
             SlackError::Violation {
                 shape,
@@ -180,7 +183,7 @@ pub fn certificate_slack(
         shape: shape.clone(),
     })?;
     let cert = check_plan(shape, &plan)?;
-    let emb = construct(shape, &plan);
+    let emb = construct(shape, &plan).map_err(SlackError::Construct)?;
     let period = (4 * cert.dilation_bound as u64 * flits as u64).max(1);
     let trace = stencil_trace(emb.edge_count(), flits, period, phases);
     let messages = trace.len() as u64;

@@ -261,6 +261,8 @@ fn resolve(e: &TraceEvent, emb: &Embedding) -> Message {
     }
 }
 
+// audit: taint-source(parse_event) — JSONL trace lines are untrusted;
+// event fields must pass `Trace::validate` before indexing an embedding.
 fn parse_event(line: usize, text: &str) -> Result<TraceEvent, TraceError> {
     let err = |message: String| TraceError::Parse { line, message };
     let v = obs::parse_json(text).map_err(|(pos, m)| err(format!("col {pos}: {m}")))?;

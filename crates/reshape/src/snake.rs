@@ -19,7 +19,7 @@ use cubemesh_topology::{cube_dim, Hypercube, Mesh, Shape};
 /// sum of higher-axis coordinates is odd, so positions `p` and `p+1` are
 /// always mesh neighbors.
 pub fn snake_position(shape: &Shape, coords: &[usize]) -> usize {
-    let mut pos = 0usize;
+    let mut idx = 0usize;
     let mut parity = 0usize;
     for (axis, &c) in coords.iter().enumerate() {
         let len = shape.len(axis);
@@ -28,10 +28,10 @@ pub fn snake_position(shape: &Shape, coords: &[usize]) -> usize {
         } else {
             len - 1 - c
         };
-        pos = pos * len + eff;
+        idx = idx * len + eff;
         parity += eff;
     }
-    pos
+    idx
 }
 
 /// The snake-curve embedding: minimal expansion, dilation 1 along the

@@ -17,29 +17,81 @@ pub struct Graph {
     edges: Vec<(u32, u32)>,
 }
 
+/// Why an edge list cannot form a [`Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// More nodes than `u32` adjacency ids can address.
+    TooManyNodes { nodes: usize },
+    /// An edge endpoint is outside `0..n`.
+    EndpointOutOfRange { a: usize, b: usize, nodes: usize },
+    /// An edge joins a node to itself.
+    SelfLoop { node: usize },
+    /// The same undirected edge appears more than once.
+    DuplicateEdge { a: u32, b: u32 },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::TooManyNodes { nodes } => {
+                write!(f, "graph too large: {nodes} nodes exceed u32 ids")
+            }
+            GraphError::EndpointOutOfRange { a, b, nodes } => {
+                write!(f, "edge ({a}, {b}) has an endpoint outside 0..{nodes}")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { a, b } => write!(f, "duplicate edge ({a}, {b})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 impl Graph {
     /// Build a graph from an undirected edge list over nodes `0..n`.
     ///
-    /// Self-loops and duplicate edges are rejected.
-    ///
-    /// # Panics
-    /// Panics on out-of-range endpoints, self-loops, or duplicates.
-    pub fn from_edges(n: usize, edge_list: &[(usize, usize)]) -> Self {
-        assert!(n <= u32::MAX as usize, "graph too large");
-        let mut edges: Vec<(u32, u32)> = edge_list
-            .iter()
-            .map(|&(a, b)| {
-                assert!(a < n && b < n, "edge endpoint out of range");
-                assert_ne!(a, b, "self-loops are not allowed");
-                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-                (lo as u32, hi as u32)
-            })
-            .collect();
+    /// Self-loops and duplicate edges are rejected with a typed error, so
+    /// untrusted edge lists (file loads, query inputs) can be validated by
+    /// construction.
+    pub fn from_edges(n: usize, edge_list: &[(usize, usize)]) -> Result<Self, GraphError> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes { nodes: n });
+        }
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(edge_list.len());
+        for &(a, b) in edge_list {
+            if a >= n || b >= n {
+                return Err(GraphError::EndpointOutOfRange { a, b, nodes: n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { node: a });
+            }
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            edges.push((lo as u32, hi as u32));
+        }
         edges.sort_unstable();
         if let Some(w) = edges.windows(2).find(|w| w[0] == w[1]) {
-            panic!("duplicate edge {:?}", w[0]);
+            return Err(GraphError::DuplicateEdge {
+                a: w[0].0,
+                b: w[0].1,
+            });
         }
+        Ok(Self::from_canonical(n, edges))
+    }
 
+    /// Build the CSR form from an edge list that is correct by
+    /// construction: every edge `(u, v)` with `u < v < n`, no duplicates.
+    /// The mesh/torus/cube/product lowerings emit exactly such lists, so
+    /// they skip [`Self::from_edges`] validation (debug builds re-check).
+    pub(crate) fn from_canonical(n: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.sort_unstable();
+        debug_assert!(
+            edges.iter().all(|&(a, b)| a < b && (b as usize) < n),
+            "non-canonical edge"
+        );
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] != w[1]),
+            "duplicate canonical edge"
+        );
         let mut degree = vec![0u32; n];
         for &(a, b) in &edges {
             degree[a as usize] += 1;
@@ -172,12 +224,12 @@ mod tests {
 
     fn path(n: usize) -> Graph {
         let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
-        Graph::from_edges(n, &edges)
+        Graph::from_edges(n, &edges).unwrap()
     }
 
     #[test]
     fn csr_construction() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         assert_eq!(g.nodes(), 4);
         assert_eq!(g.edge_count(), 4);
         assert_eq!(g.degree(0), 2);
@@ -199,7 +251,7 @@ mod tests {
 
     #[test]
     fn disconnected_graph() {
-        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert!(!g.is_connected());
         assert_eq!(g.diameter(), None);
         assert_eq!(g.bfs_distances(0)[2], u32::MAX);
@@ -207,7 +259,7 @@ mod tests {
 
     #[test]
     fn bfs_order_visits_all() {
-        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
         let order = g.bfs_order(0);
         assert_eq!(order.len(), 5);
         let mut sorted = order.clone();
@@ -216,20 +268,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn duplicate_edges_rejected() {
-        let _ = Graph::from_edges(3, &[(0, 1), (1, 0)]);
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge { a: 0, b: 1 }
+        );
     }
 
     #[test]
-    #[should_panic]
     fn self_loop_rejected() {
-        let _ = Graph::from_edges(3, &[(1, 1)]);
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]).unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]).unwrap_err(),
+            GraphError::EndpointOutOfRange {
+                a: 0,
+                b: 2,
+                nodes: 2
+            }
+        );
     }
 
     #[test]
     fn single_node_graph() {
-        let g = Graph::from_edges(1, &[]);
+        let g = Graph::from_edges(1, &[]).unwrap();
         assert!(g.is_connected());
         assert_eq!(g.diameter(), Some(0));
     }

@@ -9,19 +9,29 @@
 use crate::graph::Graph;
 
 /// The Boolean cube `Q_n`, `n ≤ 28` for lowering to [`Graph`]
-/// (address arithmetic itself works to `n ≤ 63`).
+/// (address and edge arithmetic work to `n ≤ 48`, [`Hypercube::MAX_DIM`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Hypercube {
     dim: u32,
 }
 
 impl Hypercube {
+    /// Largest admissible dimension. Bounded well below the 63 that `u64`
+    /// addresses allow so that every derived quantity stays in range:
+    /// `edge_count` is `n · 2ⁿ⁻¹ ≤ 48 · 2⁴⁷ < 2⁵³` and `edge_index` is
+    /// `< 2⁴⁸ · 48 < 2⁵⁴`. Mesh guests are capped at `2⁴⁶` nodes
+    /// (`Shape::MAX_NODES`), so no certified embedding needs a larger host.
+    pub const MAX_DIM: u32 = 48;
+
     /// Create `Q_n`.
     ///
     /// # Panics
-    /// Panics if `n > 63`.
+    /// Panics if `n > 48` ([`Self::MAX_DIM`]).
     pub fn new(dim: u32) -> Self {
-        assert!(dim <= 63, "hypercube dimension too large for u64 addresses");
+        assert!(
+            dim <= Self::MAX_DIM,
+            "hypercube dimension too large for edge accounting"
+        );
         Hypercube { dim }
     }
 
@@ -66,8 +76,8 @@ impl Hypercube {
     #[inline]
     pub fn edge_index(&self, v: u64, bit: u32) -> usize {
         debug_assert!(bit < self.dim);
-        let lo = v & !(1u64 << bit);
-        (lo as usize) * self.dim as usize + bit as usize
+        let lo_addr = v & !(1u64 << bit);
+        (lo_addr as usize) * self.dim as usize + bit as usize
     }
 
     /// Size of the edge-index space used by [`Self::edge_index`].
@@ -92,11 +102,11 @@ impl Hypercube {
             for b in 0..self.dim {
                 let w = v ^ (1u64 << b);
                 if v < w {
-                    edges.push((v as usize, w as usize));
+                    edges.push((v as u32, w as u32));
                 }
             }
         }
-        Graph::from_edges(n, &edges)
+        Graph::from_canonical(n, edges)
     }
 }
 

@@ -24,7 +24,7 @@ pub mod product;
 pub mod shape;
 pub mod torus;
 
-pub use graph::Graph;
+pub use graph::{Graph, GraphError};
 pub use hamming::{ceil_pow2, cube_dim, hamming, is_pow2};
 pub use hypercube::Hypercube;
 pub use mesh::{Mesh, MeshEdge};

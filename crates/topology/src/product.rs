@@ -23,16 +23,16 @@ pub fn product(g1: &Graph, g2: &Graph) -> Option<Graph> {
     // G₂-type edges: one copy of G₂ per node of G₁.
     for u in 0..n1 {
         for &(a, b) in g2.edges() {
-            edges.push((u * n2 + a as usize, u * n2 + b as usize));
+            edges.push(((u * n2 + a as usize) as u32, (u * n2 + b as usize) as u32));
         }
     }
     // G₁-type edges: one copy of G₁ per node of G₂.
     for v in 0..n2 {
         for &(a, b) in g1.edges() {
-            edges.push((a as usize * n2 + v, b as usize * n2 + v));
+            edges.push(((a as usize * n2 + v) as u32, (b as usize * n2 + v) as u32));
         }
     }
-    Some(Graph::from_edges(n, &edges))
+    Some(Graph::from_canonical(n, edges))
 }
 
 /// Index of the product node `[u, v]` in `g1 × g2` where `n2 = |V(G₂)|`.

@@ -14,13 +14,36 @@ use std::fmt;
 pub struct Shape(Vec<usize>);
 
 impl Shape {
+    /// Largest admissible axis length, `2¹⁵`. The paper's meshes top out
+    /// at `512³`; a factor-64 margin per axis keeps every `idx * extent`
+    /// row-major step provably inside `u64` (`2⁴⁸ · 2¹⁵ ≤ 2⁶³`).
+    pub const MAX_AXIS: usize = 1 << 15;
+
+    /// Largest admissible node count, `2⁴⁶`. Together with `MAX_AXIS`
+    /// this bounds every linear index, edge index (`≤ 3·nodes < 2⁴⁸`),
+    /// and minimal-cube address the workspace computes.
+    pub const MAX_NODES: usize = 1 << 46;
+
     /// Create a shape from axis lengths.
     ///
     /// # Panics
-    /// Panics if `dims` is empty or any axis length is zero.
+    /// Panics if `dims` is empty, any axis length is zero or exceeds
+    /// [`Self::MAX_AXIS`], or the node count exceeds [`Self::MAX_NODES`].
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "a shape needs at least one axis");
         assert!(dims.iter().all(|&d| d > 0), "axis lengths must be >= 1");
+        assert!(
+            dims.iter().all(|&d| d <= Self::MAX_AXIS),
+            "axis length exceeds Shape::MAX_AXIS (2^15)"
+        );
+        let nodes = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .filter(|&n| n <= Self::MAX_NODES);
+        assert!(
+            nodes.is_some(),
+            "shape node count exceeds Shape::MAX_NODES (2^46)"
+        );
         Shape(dims.to_vec())
     }
 
@@ -84,9 +107,9 @@ impl Shape {
     pub fn index(&self, coords: &[usize]) -> usize {
         debug_assert_eq!(coords.len(), self.rank());
         let mut idx = 0usize;
-        for (c, d) in coords.iter().zip(&self.0) {
-            debug_assert!(c < d, "coordinate out of range");
-            idx = idx * d + c;
+        for (c, extent) in coords.iter().zip(&self.0) {
+            debug_assert!(c < extent, "coordinate out of range");
+            idx = idx * extent + c;
         }
         idx
     }

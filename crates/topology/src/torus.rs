@@ -95,8 +95,12 @@ impl Torus {
 
     /// Lower the torus to a generic [`Graph`].
     pub fn to_graph(&self) -> Graph {
-        let edges: Vec<(usize, usize)> = self.edges().map(|e| self.edge_endpoints(e)).collect();
-        Graph::from_edges(self.nodes(), &edges)
+        let edges: Vec<(u32, u32)> = self
+            .edges()
+            .map(|e| self.edge_endpoints(e))
+            .map(|(a, b)| (a as u32, b as u32))
+            .collect();
+        Graph::from_canonical(self.nodes(), edges)
     }
 }
 

@@ -31,10 +31,10 @@ pub fn build_torus_embedding(shape: &Shape, codes: &[AxisCode], inner: &Embeddin
 
     let n2 = inner.host().dim();
     // Submesh-bit fields, axis 0 topmost.
-    let mut offsets = vec![0u32; k];
+    let mut bit_offsets = vec![0u32; k];
     let mut acc = n2;
     for i in (0..k).rev() {
-        offsets[i] = acc;
+        bit_offsets[i] = acc;
         acc += codes[i].cbits;
     }
     let host = Hypercube::new(acc);
@@ -49,7 +49,7 @@ pub fn build_torus_embedding(shape: &Shape, codes: &[AxisCode], inner: &Embeddin
         let mut cfield = 0u64;
         for i in 0..k {
             let (c, wi) = codes[i].pos[z[i]];
-            cfield |= (c as u64) << offsets[i];
+            cfield |= (c as u64) << bit_offsets[i];
             w[i] = wi;
         }
         map[shape.index(&z)] = cfield | inner.image(inner_shape.index(&w));
@@ -82,7 +82,7 @@ pub fn build_torus_embedding(shape: &Shape, codes: &[AxisCode], inner: &Embeddin
             &inner_shape,
             inner,
             &idx_inner,
-            &offsets,
+            &bit_offsets,
             n2,
         );
         match e {
@@ -110,7 +110,7 @@ fn assemble_route(
     inner_shape: &Shape,
     inner: &Embedding,
     idx_inner: &MeshEdgeIndex,
-    offsets: &[u32],
+    bit_offsets: &[u32],
     n2: u32,
 ) -> Vec<u64> {
     let k = z.len();
@@ -122,10 +122,10 @@ fn assemble_route(
         match *step {
             Step::C { from, to } => {
                 debug_assert_eq!(
-                    (cur >> offsets[axis]) & ((1 << codes[axis].cbits) - 1),
+                    (cur >> bit_offsets[axis]) & ((1 << codes[axis].cbits) - 1),
                     from as u64
                 );
-                cur ^= ((from ^ to) as u64) << offsets[axis];
+                cur ^= ((from ^ to) as u64) << bit_offsets[axis];
                 path.push(cur);
             }
             Step::M2 { from, to } => {
@@ -158,14 +158,14 @@ fn assemble_route(
             } => {
                 debug_assert_eq!(wvec[axis], w_from);
                 debug_assert_eq!(
-                    (cur >> offsets[axis]) & ((1 << codes[axis].cbits) - 1),
+                    (cur >> bit_offsets[axis]) & ((1 << codes[axis].cbits) - 1),
                     c_from as u64
                 );
-                let cmask = ((1u64 << codes[axis].cbits) - 1) << offsets[axis];
+                let cmask = ((1u64 << codes[axis].cbits) - 1) << bit_offsets[axis];
                 let mut wnew = wvec.clone();
                 wnew[axis] = w_to;
                 let target = (cur & !inner_mask & !cmask)
-                    | ((c_to as u64) << offsets[axis])
+                    | ((c_to as u64) << bit_offsets[axis])
                     | inner.image(inner_shape.index(&wnew));
                 for step in cubemesh_embedding::router::canonical_path(cur, target)
                     .into_iter()

@@ -146,7 +146,11 @@ pub fn embed_torus_with(shape: &Shape, planner: &mut Planner) -> Option<TorusPla
     let mut best: Option<Candidate> = None;
 
     for combo in feasible_combos(shape, planner) {
-        let inner = construct(&combo.inner_shape, &combo.inner_plan);
+        let Ok(inner) = construct(&combo.inner_shape, &combo.inner_plan) else {
+            // A Direct plan outside the catalog is a planner bug; skip the
+            // combo rather than abort the whole sweep.
+            continue;
+        };
 
         // Adaptive per-axis codes against measured costs.
         let mut codes = Vec::with_capacity(k);

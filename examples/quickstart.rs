@@ -29,7 +29,7 @@ fn main() {
     match planner.plan(&shape) {
         Some(plan) => {
             println!("plan: {}", plan);
-            let emb = construct(&shape, &plan);
+            let emb = construct(&shape, &plan).expect("plan lowers");
             emb.verify().expect("constructed embeddings always verify");
             let m = emb.metrics();
             println!(

@@ -210,7 +210,7 @@ fn classify(args: &[String]) -> ExitCode {
     }
     match Planner::new().plan(&shape) {
         Some(plan) => {
-            let emb = construct(&shape, &plan);
+            let emb = construct(&shape, &plan).expect("planner-produced plan lowers");
             let met = emb.metrics();
             println!(
                 "constructive: {} — dilation {}, congestion {}",

@@ -11,7 +11,7 @@ fn strategy_step1_power_of_two_axes() {
     let shape = Shape::new(&[12, 16, 20, 32]);
     let mut planner = Planner::new();
     let plan = planner.plan(&shape).expect("12x16x20x32 is coverable");
-    let emb = construct(&shape, &plan);
+    let emb = construct(&shape, &plan).expect("plan lowers");
     emb.verify().unwrap();
     let m = emb.metrics();
     assert!(m.is_minimal_expansion());

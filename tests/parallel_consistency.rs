@@ -139,7 +139,7 @@ fn planner_constructions_agree_across_engines() {
         let plan = Planner::new()
             .plan(&shape)
             .unwrap_or_else(|| panic!("no plan for {:?}", dims));
-        let emb = construct(&shape, &plan);
+        let emb = construct(&shape, &plan).expect("plan lowers");
         assert_eq!(
             verify_embedding_seq(&emb),
             verify_embedding_par(&emb),

@@ -16,7 +16,7 @@ fn all_plans_construct_and_verify_small_domain() {
             for c in b..=8usize {
                 let shape = Shape::new(&[a, b, c]);
                 if let Some(plan) = planner.plan(&shape) {
-                    let emb = construct(&shape, &plan);
+                    let emb = construct(&shape, &plan).expect("plan lowers");
                     emb.verify().unwrap_or_else(|e| panic!("{}: {}", shape, e));
                     let m = emb.metrics();
                     assert!(m.is_minimal_expansion(), "{}", shape);
