@@ -253,17 +253,6 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     }
 }
 
-/// FNV-1a over a plan's rendering — a stable fingerprint that changes
-/// whenever the planner picks a different decomposition.
-fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// One certify record: a certificate (or `None` for an open case), the
 /// proven floors, and a fingerprint of the underlying plan.
 struct Record {
@@ -343,7 +332,7 @@ fn certify_records(planner: &mut Planner, shape: &Shape) -> Result<Vec<Record>, 
         Some(plan) => {
             let cert = cubemesh_audit::check_plan(shape, &plan)
                 .map_err(|e| format!("{shape} mesh: {e}"))?;
-            (Some(cert), fnv1a(&plan.to_string()))
+            (Some(cert), cubemesh_audit::fingerprint(&plan))
         }
     };
     out.push(Record {
@@ -359,7 +348,10 @@ fn certify_records(planner: &mut Planner, shape: &Shape) -> Result<Vec<Record>, 
         kind: "torus",
         shape: shape.clone(),
         floors: torus_floors(shape, host),
-        fingerprint: cert.as_ref().map(|c| fnv1a(&c.to_string())).unwrap_or(0),
+        fingerprint: cert
+            .as_ref()
+            .map(|c| cubemesh_audit::fnv1a(c.to_string().as_bytes()))
+            .unwrap_or(0),
         cert,
     });
 
@@ -368,7 +360,10 @@ fn certify_records(planner: &mut Planner, shape: &Shape) -> Result<Vec<Record>, 
             None => (None, 0),
             Some(plan) => {
                 let cert = certify_fold(shape, &plan).map_err(|e| format!("{shape} fold: {e}"))?;
-                (Some(cert), fnv1a(&format!("{plan:?}")))
+                (
+                    Some(cert),
+                    cubemesh_audit::fnv1a(format!("{plan:?}").as_bytes()),
+                )
             }
         };
         out.push(Record {

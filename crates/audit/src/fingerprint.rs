@@ -1,0 +1,54 @@
+//! The shared FNV-1a plan fingerprint.
+//!
+//! One implementation, three consumers: the `cubemesh-audit certify`
+//! CLI stamps every certificate record with it, the plan database keys
+//! persisted records by it, and the query service echoes it so clients
+//! can cache plans by value. The fingerprint hashes the plan's
+//! *canonical* rendering ([`Plan::to_canonical_string`]), which is a
+//! pinned wire grammar — not the human-facing `Display` text, whose
+//! stability is not guaranteed. The golden tests in
+//! `crates/audit/tests/fingerprint_golden.rs` freeze concrete values;
+//! changing either the hash or the grammar breaks them loudly, which is
+//! the point.
+
+use cubemesh_core::Plan;
+
+/// 64-bit FNV-1a over `bytes` — the workspace's one fingerprint hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of a plan tree: FNV-1a over its canonical rendering.
+/// Stable across processes, platforms and releases; changes exactly
+/// when the planner picks a different decomposition.
+pub fn fingerprint(plan: &Plan) -> u64 {
+    fnv1a(plan.to_canonical_string().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_canonical_string() {
+        let plan = Plan::Gray;
+        assert_eq!(
+            fingerprint(&plan),
+            fnv1a(plan.to_canonical_string().as_bytes())
+        );
+        assert_ne!(fingerprint(&Plan::Gray), fingerprint(&Plan::Direct));
+    }
+}

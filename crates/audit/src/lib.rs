@@ -47,6 +47,7 @@ pub mod certificate;
 pub mod cfg;
 pub mod crosscheck;
 pub mod dataflow;
+pub mod fingerprint;
 pub mod lexer;
 pub mod lint;
 pub mod manytoone;
@@ -60,6 +61,7 @@ pub use crosscheck::{
     crosscheck_contract_shape, crosscheck_fold_shape, crosscheck_shape, crosscheck_torus_shape,
     sweep, sweep_contract, sweep_fold, sweep_torus, CrosscheckError, SweepReport,
 };
+pub use fingerprint::{fingerprint, fnv1a};
 pub use lint::{lint_source, lint_workspace, Allowlist, Rule, Violation};
 pub use manytoone::{certify_contract, certify_fold};
 pub use torus::{certify_torus, certify_torus_combo};

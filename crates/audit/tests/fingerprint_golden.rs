@@ -1,0 +1,47 @@
+//! Golden stability: the plan fingerprint is persisted in every plan-
+//! database record and certify artifact, so its value for a fixed plan
+//! tree is frozen here. If any of these assertions moves, the plandb
+//! format version must be bumped and existing databases rebuilt —
+//! changing the hash silently is the failure mode this file exists to
+//! catch.
+
+use cubemesh_audit::{fingerprint, fnv1a};
+use cubemesh_core::{Plan, Planner};
+use cubemesh_topology::Shape;
+
+#[test]
+fn leaf_fingerprints_are_frozen() {
+    // fnv1a("g") / fnv1a("d") — computed once, pinned forever.
+    assert_eq!(fingerprint(&Plan::Gray), fnv1a(b"g"));
+    assert_eq!(fingerprint(&Plan::Direct), fnv1a(b"d"));
+    assert_eq!(fingerprint(&Plan::Gray), 0xaf63_da4c_8601_e926);
+    assert_eq!(fingerprint(&Plan::Direct), 0xaf63_d94c_8601_e773);
+}
+
+#[test]
+fn product_fingerprint_is_frozen() {
+    let plan = Plan::Product {
+        f1: Shape::new(&[3, 5]),
+        p1: Box::new(Plan::Direct),
+        f2: Shape::new(&[4, 4]),
+        p2: Box::new(Plan::Gray),
+    };
+    assert_eq!(plan.to_canonical_string(), "(3x5 d * 4x4 g)");
+    assert_eq!(fingerprint(&plan), fnv1a(b"(3x5 d * 4x4 g)"));
+    assert_eq!(fingerprint(&plan), 0xa110_66f8_1f44_b98b);
+}
+
+#[test]
+fn planner_output_fingerprints_are_reproducible() {
+    // Two independent planners must fingerprint identically — the
+    // service's cold-miss path and the DB builder meet on this.
+    for dims in [[5usize, 6, 7], [3, 25, 3], [12, 20, 1], [9, 9, 9]] {
+        let shape = Shape::new(&dims);
+        let a = Planner::new().plan(&shape);
+        let b = Planner::new().plan(&shape);
+        assert_eq!(a, b);
+        if let (Some(a), Some(b)) = (a, b) {
+            assert_eq!(fingerprint(&a), fingerprint(&b), "{shape}");
+        }
+    }
+}

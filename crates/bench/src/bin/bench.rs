@@ -24,6 +24,7 @@
 //! * `--shapes`    override the ladder
 //! * `--stats`     print a cubemesh-obs snapshot at the end
 //! * `--no-replay` skip the BENCH_4 replay ladder
+//! * `--no-service` skip the BENCH_5 query-service ladder
 //! * `--trace FILE` record a hierarchical execution trace (Chrome JSON at
 //!   FILE plus FILE.folded / FILE.jsonl)
 //!
@@ -43,7 +44,19 @@
 //! deflates this run's throughput by 25% before comparing, proving the
 //! gate trips.
 //!
-//! Alongside BENCH_3 the binary also runs the BENCH_4 *replay* ladder
+//! Alongside BENCH_3 the binary runs the BENCH_5 *query-service* ladder
+//! (written to `BENCH_5.json`, or `--service-out PATH`): it rebuilds a
+//! max-axis-12 census plan database in a scratch directory, then times
+//! warm lookup latency (p50/p99 ns over the whole census), batched
+//! protocol throughput at batch sizes 1/64/1024 (full parse → lookup →
+//! render round trips through `handle_line`), and the best-case
+//! cold-miss live-plan latency on shapes outside the database universe.
+//! `--compare-service BASE5.json` gates those rungs against a prior
+//! BENCH_5 document at the same `--tolerance`, with latency rungs
+//! judged lower-is-better; regressions fail the process exactly like
+//! the BENCH_3 gate.
+//!
+//! The binary also runs the BENCH_4 *replay* ladder
 //! (written to `BENCH_4.json`): each rung replays a periodic stencil
 //! trace through the cubemesh-replay engine, joins the measured peak link
 //! load against the static congestion certificate, and times a rate
@@ -406,6 +419,212 @@ fn bench4_json(rungs: &[ReplayRung]) -> String {
     out
 }
 
+/// One BENCH_5 query-service rung: a named figure of merit. Names
+/// ending in `_ns` are latencies (lower is better); the rest are
+/// throughputs (higher is better) — the compare gate keys direction off
+/// the suffix.
+#[derive(Clone, Debug)]
+struct ServiceRung {
+    name: &'static str,
+    value: f64,
+}
+
+/// Build wall time and record counts for the BENCH_5 header.
+#[derive(Clone, Debug)]
+struct ServiceMeta {
+    db_max_axis: usize,
+    db_records: usize,
+    db_build_s: f64,
+}
+
+/// Percentile over a sorted ns-sample slice (nearest-rank).
+fn percentile_ns(sorted: &[u64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx] as f64
+}
+
+/// The BENCH_5 query-service ladder, driven through the in-process
+/// [`cubemesh_service::QueryEngine`] so the rungs measure the lookup
+/// path (validate → pread → decode → render), not socket scheduling.
+///
+/// * `lookup_p50_ns` / `lookup_p99_ns` — warm single-shape lookup
+///   latency over the whole census, nearest-rank percentiles, best of
+///   `reps` passes;
+/// * `queries_per_s_batch_{1,64,1024}` — full protocol round trips
+///   (`handle_line`: parse the batched JSON request, look every shape
+///   up, render the response) at three batch sizes;
+/// * `cold_miss_ns` — best-case live-plan latency on shapes outside the
+///   database universe (each sample a distinct shape, so the overlay
+///   never serves it).
+///
+/// The database itself is rebuilt in a scratch directory on every run
+/// (max axis 12, a few hundred shapes) and its build time is recorded
+/// in the header as context, not gated.
+fn run_service_bench(reps: usize) -> Option<(Vec<ServiceRung>, ServiceMeta)> {
+    use cubemesh_plandb::{build, enumerate_keys, BuildConfig};
+    use cubemesh_service::{handle_line, EngineConfig, QueryEngine};
+
+    const DB_MAX_AXIS: usize = 12;
+    let dir = std::env::temp_dir().join(format!("cubemesh-bench5-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cubemesh-bench: service scratch dir: {e}");
+        return None;
+    }
+    let db_path = dir.join("plans.db");
+    let (report, db_build_s) = time(|| build(&BuildConfig::new(DB_MAX_AXIS), &db_path));
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cubemesh-bench: service db build: {e}");
+            return None;
+        }
+    };
+    let engine = match QueryEngine::new(&EngineConfig {
+        db: Some(db_path),
+        overflow: None,
+    }) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cubemesh-bench: service engine: {e}");
+            return None;
+        }
+    };
+    let keys = enumerate_keys(DB_MAX_AXIS);
+
+    // Warm lookup latency: per-shape samples across the full census,
+    // percentiles per pass, best pass kept (same minimum-of-reps
+    // rationale as the shape ladder).
+    const LATENCY_SAMPLES: usize = 8192;
+    let (mut p50, mut p99) = (f64::MAX, f64::MAX);
+    for _ in 0..reps.max(1) {
+        let mut samples = Vec::with_capacity(LATENCY_SAMPLES);
+        for i in 0..LATENCY_SAMPLES {
+            let key = &keys[i % keys.len()];
+            let t0 = Instant::now();
+            if engine.lookup(key).is_err() {
+                eprintln!("cubemesh-bench: warm lookup failed for {key:?}");
+                return None;
+            }
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        samples.sort_unstable();
+        p50 = p50.min(percentile_ns(&samples, 50));
+        p99 = p99.min(percentile_ns(&samples, 99));
+    }
+
+    // Batched protocol throughput: prebuilt request lines, timed through
+    // the full parse → lookup → render path.
+    let batch_request = |batch: usize, offset: usize| {
+        let mut line = String::from("{\"op\":\"plan\",\"shapes\":[");
+        for i in 0..batch {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('[');
+            for (j, d) in keys[(offset + i) % keys.len()].iter().enumerate() {
+                if j > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{d}");
+            }
+            line.push(']');
+        }
+        line.push_str("]}");
+        line
+    };
+    let mut batch_rungs = Vec::new();
+    for &(batch, iters, name) in &[
+        (1usize, 8192usize, "queries_per_s_batch_1"),
+        (64, 512, "queries_per_s_batch_64"),
+        (1024, 64, "queries_per_s_batch_1024"),
+    ] {
+        let requests: Vec<String> = (0..iters).map(|i| batch_request(batch, i)).collect();
+        let mut best = f64::MAX;
+        for _ in 0..reps.max(1) {
+            let ((), secs) = time(|| {
+                for req in &requests {
+                    let (response, _) = handle_line(&engine, req);
+                    std::hint::black_box(&response);
+                }
+            });
+            best = best.min(secs);
+        }
+        batch_rungs.push(ServiceRung {
+            name,
+            value: (batch * iters) as f64 / best.max(1e-12),
+        });
+    }
+
+    // Cold-miss latency: every sample is a distinct shape outside the
+    // max-axis-12 universe, so each one takes the live plan-and-certify
+    // path exactly once. Best case over the samples — the sample count
+    // is the only lever against host jitter here, since a shape can
+    // only be cold once per engine.
+    const COLD_SAMPLES: usize = 512;
+    let mut cold_ns = u64::MAX;
+    for i in 0..COLD_SAMPLES {
+        let dims = [DB_MAX_AXIS + 1, DB_MAX_AXIS + 1, DB_MAX_AXIS + 1 + i];
+        let t0 = Instant::now();
+        if engine.lookup(&dims).is_err() {
+            eprintln!("cubemesh-bench: cold lookup failed for {dims:?}");
+            return None;
+        }
+        cold_ns = cold_ns.min(t0.elapsed().as_nanos() as u64);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    let mut rungs = vec![
+        ServiceRung {
+            name: "lookup_p50_ns",
+            value: p50,
+        },
+        ServiceRung {
+            name: "lookup_p99_ns",
+            value: p99,
+        },
+    ];
+    rungs.extend(batch_rungs);
+    rungs.push(ServiceRung {
+        name: "cold_miss_ns",
+        value: cold_ns as f64,
+    });
+    Some((
+        rungs,
+        ServiceMeta {
+            db_max_axis: DB_MAX_AXIS,
+            db_records: report.shapes,
+            db_build_s,
+        },
+    ))
+}
+
+fn bench5_json(rungs: &[ServiceRung], meta: &ServiceMeta) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"BENCH_5\",\n");
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = writeln!(out, "  \"created_unix\": {unix},");
+    let _ = writeln!(out, "  \"db_max_axis\": {},", meta.db_max_axis);
+    let _ = writeln!(out, "  \"db_records\": {},", meta.db_records);
+    let _ = writeln!(out, "  \"db_build_s\": {:.6},", meta.db_build_s);
+    out.push_str("  \"rungs\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"value\": {:.1}}}",
+            r.name, r.value
+        );
+        out.push_str(if i + 1 < rungs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -553,11 +772,14 @@ fn main() -> ExitCode {
     // metric past tolerance. Runs before the replay ladder so the exit
     // code is decided even if BENCH_4 is skipped.
     let mut regressed = false;
+    let tolerance = flag_value(&args, "--tolerance")
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|pct| pct / 100.0)
+        .unwrap_or(cubemesh_bench::DEFAULT_TOLERANCE);
+    // Self-test hook for check.sh: deflate this run's throughput 25%
+    // (past any sane tolerance) to prove the gate actually trips.
+    let inject = args.iter().any(|a| a == "--inject-regression");
     if let Some(base_path) = flag_value(&args, "--compare") {
-        let tolerance = flag_value(&args, "--tolerance")
-            .and_then(|v| v.parse::<f64>().ok())
-            .map(|pct| pct / 100.0)
-            .unwrap_or(cubemesh_bench::DEFAULT_TOLERANCE);
         let base_doc = match std::fs::read_to_string(&base_path) {
             Ok(d) => d,
             Err(e) => {
@@ -585,9 +807,6 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        // Self-test hook for check.sh: deflate this run's throughput 25%
-        // (past any sane tolerance) to prove the gate actually trips.
-        let inject = args.iter().any(|a| a == "--inject-regression");
         let current: Vec<cubemesh_bench::RungMetrics> = rungs
             .iter()
             .map(|r| cubemesh_bench::RungMetrics {
@@ -627,6 +846,86 @@ fn main() -> ExitCode {
             println!("wrote {path}");
         }
         regressed = !report.regressions().is_empty();
+    }
+
+    // BENCH_5: the query-service ladder. Runs with fixed parameters
+    // regardless of --quick (it is cheap next to the shape ladder and
+    // the rungs must stay comparable across runs).
+    if !args.iter().any(|a| a == "--no-service") {
+        let Some((service_rungs, service_meta)) = run_service_bench(reps) else {
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "     service  db {} records in {:.3}s (max axis {})",
+            service_meta.db_records, service_meta.db_build_s, service_meta.db_max_axis
+        );
+        for r in &service_rungs {
+            if r.name.ends_with("_ns") {
+                println!("{:>24}  {:>12.0} ns", r.name, r.value);
+            } else {
+                println!("{:>24}  {:>12.0} queries/s", r.name, r.value);
+            }
+        }
+        let service_out =
+            flag_value(&args, "--service-out").unwrap_or_else(|| "BENCH_5.json".to_owned());
+        let doc5 = bench5_json(&service_rungs, &service_meta);
+        if let Err(e) = std::fs::write(&service_out, &doc5) {
+            eprintln!("cubemesh-bench: writing {service_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {service_out}");
+
+        if let Some(base5_path) = flag_value(&args, "--compare-service") {
+            let base_doc = match std::fs::read_to_string(&base5_path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cubemesh-bench: reading service baseline {base5_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let baseline = match cubemesh_bench::load_service_baseline(&base_doc) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cubemesh-bench: service baseline {base5_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let current: Vec<cubemesh_bench::ServiceMetrics> = service_rungs
+                .iter()
+                .map(|r| cubemesh_bench::ServiceMetrics {
+                    name: r.name.to_owned(),
+                    // Injected regressions move each metric the bad way:
+                    // latencies up, throughput down — by well over the
+                    // doubled service tolerance, so the self-test trips
+                    // even against a same-run baseline.
+                    value: r.value
+                        * match (inject, r.name.ends_with("_ns")) {
+                            (true, true) => 1.5,
+                            (true, false) => 0.5,
+                            (false, _) => 1.0,
+                        },
+                })
+                .collect();
+            let deltas = match cubemesh_bench::compare_service(&baseline, &current, tolerance) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cubemesh-bench: service compare: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = cubemesh_bench::CompareReport {
+                tolerance,
+                deltas,
+                skipped: Vec::new(),
+            };
+            print!("{}", report.to_text());
+            for r in &current {
+                if cubemesh_bench::SERVICE_REPORT_ONLY.contains(&r.name.as_str()) {
+                    println!("  {:>12} report-only, not gated", r.name);
+                }
+            }
+            regressed = regressed || !report.regressions().is_empty();
+        }
     }
 
     if !args.iter().any(|a| a == "--no-replay") {

@@ -7,8 +7,9 @@
 pub mod compare;
 
 pub use compare::{
-    compare as compare_rungs, compare_kernels, load_baseline, Baseline, CompareReport, Delta,
-    KernelMetrics, RungMetrics, DEFAULT_TOLERANCE,
+    compare as compare_rungs, compare_kernels, compare_service, load_baseline,
+    load_service_baseline, Baseline, CompareReport, Delta, KernelMetrics, RungMetrics,
+    ServiceMetrics, DEFAULT_TOLERANCE, SERVICE_REPORT_ONLY,
 };
 
 /// Format a percentage with one decimal, paper-style.

@@ -16,6 +16,9 @@
 //! * [`plan`] — the decomposition-plan IR;
 //! * [`planner`] — the §4.2 strategy: a memoized recursive planner that
 //!   picks Gray axes, direct catalog pieces, and axis splits;
+//! * [`strategy`] — pluggable, confidence-ranked decomposition
+//!   strategies (method sets S₁..S₄ as [`planner::RuleMask`] views),
+//!   the provenance layer behind the plan database;
 //! * [`classify`] — the paper-faithful arithmetic classification (methods
 //!   1–4 of §5) used by the Figure-2 census;
 //! * [`construct`] — lowering a [`plan::Plan`] to a verified
@@ -30,12 +33,14 @@ pub mod construct;
 pub mod plan;
 pub mod planner;
 pub mod product;
+pub mod strategy;
 
 pub use classify::{classify3, Method};
 pub use construct::{construct, restrict, ConstructError};
-pub use plan::Plan;
-pub use planner::Planner;
+pub use plan::{Plan, PlanParseError};
+pub use planner::{Planner, RuleMask};
 pub use product::{mesh_product_embedding, product_embedding};
+pub use strategy::{default_strategies, plan_with_strategies, PlanStrategy, StrategyPlan};
 
 use cubemesh_embedding::{gray_mesh_embedding, Embedding};
 use cubemesh_topology::Shape;

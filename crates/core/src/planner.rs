@@ -30,11 +30,55 @@ use cubemesh_search::{catalog_entries, catalog_lookup};
 use cubemesh_topology::{cube_dim, Shape};
 use std::collections::HashMap;
 
+/// Bit-set selecting which planner rules a pass may apply — the
+/// mechanism behind the pluggable [`crate::strategy`] layer. Each
+/// constant enables one rule family; recursion inside a masked pass
+/// stays inside the mask, so `plan_masked(s, DIRECT_SET)` proves "s is
+/// coverable by methods 1 + direct lookup alone", not merely "the first
+/// rule that fired was a lookup".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RuleMask(u16);
+
+impl RuleMask {
+    /// Method 1: whole-mesh Gray code.
+    pub const GRAY: RuleMask = RuleMask(1 << rule::GRAY);
+    /// Exact direct-catalog hit.
+    pub const DIRECT: RuleMask = RuleMask(1 << rule::DIRECT);
+    /// Catalog hit by axis extension inside the same cube.
+    pub const DIRECT_EXT: RuleMask = RuleMask(1 << rule::DIRECT_EXT);
+    /// §4.2 step 1: peel the power-of-two factors off every axis.
+    pub const PEEL_POW2: RuleMask = RuleMask(1 << rule::PEEL_POW2);
+    /// Method 3 generalized: catalog entry ⊙ planned factor.
+    pub const CATALOG_PRODUCT: RuleMask = RuleMask(1 << rule::CATALOG_PRODUCT);
+    /// Method 2: pair two axes, Gray the third.
+    pub const PAIR_GRAY: RuleMask = RuleMask(1 << rule::PAIR_GRAY);
+    /// Method 4: split an axis `ℓⱼ → ℓ′·ℓ″ ≥ ℓⱼ`.
+    pub const AXIS_SPLIT: RuleMask = RuleMask(1 << rule::AXIS_SPLIT);
+    /// Rank ≥ 4 bipartitions of the axis set.
+    pub const BIPARTITION: RuleMask = RuleMask(1 << rule::BIPARTITION);
+    /// Every rule — the behavior of [`Planner::plan`].
+    pub const ALL: RuleMask = RuleMask((1 << rule::NAMES.len()) - 1);
+    /// No rules; useful as a fold identity.
+    pub const NONE: RuleMask = RuleMask(0);
+
+    /// Union of two masks.
+    #[must_use]
+    pub const fn union(self, other: RuleMask) -> RuleMask {
+        RuleMask(self.0 | other.0)
+    }
+
+    /// Does the mask enable rule index `r` (a `rule::*` constant)?
+    const fn has(self, r: usize) -> bool {
+        self.0 & (1 << r) != 0
+    }
+}
+
 /// Memoized decomposition planner. Reuse one instance across queries — the
-/// memo table is shared.
+/// memo table is shared (and keyed by rule mask, so masked passes never
+/// see conclusions a wider rule set reached).
 #[derive(Default)]
 pub struct Planner {
-    memo: HashMap<Vec<usize>, Option<Plan>>,
+    memo: HashMap<(RuleMask, Vec<usize>), Option<Plan>>,
     /// Current recursion depth (observability only).
     depth: u32,
     /// Batched metric tallies, flushed to the global registry once per
@@ -109,18 +153,30 @@ impl Planner {
 
     /// Plan a minimal-expansion, dilation-≤2 embedding for `shape`.
     pub fn plan(&mut self, shape: &Shape) -> Option<Plan> {
-        // Rules recurse through `plan` itself; only the outermost call
+        self.plan_masked(shape, RuleMask::ALL)
+    }
+
+    /// [`plan`](Planner::plan) restricted to the rules in `mask`; the
+    /// restriction applies recursively, so the result is a plan the
+    /// masked rule set can justify on its own.
+    pub fn plan_masked(&mut self, shape: &Shape, mask: RuleMask) -> Option<Plan> {
+        // Rules recurse through `replan`; only the outermost call
         // opens a trace span, so a query shows up as one `planner.plan`
         // with rule-hit instants nested inside it.
         let _span = (self.depth == 0).then(|| obs::span!("planner.plan"));
-        let reduced = reduce(shape);
-        let result = self.plan_dims(reduced.dims().to_vec());
-        // Rules recurse through `plan` itself; only the outermost call
-        // (depth back at 0) publishes the batched tallies.
+        let result = self.replan(shape, mask);
+        // Only the outermost call (depth back at 0) publishes the
+        // batched tallies.
         if self.depth == 0 {
             self.flush_stats();
         }
         result
+    }
+
+    /// Internal recursion entry: reduce, then consult the masked memo.
+    fn replan(&mut self, shape: &Shape, mask: RuleMask) -> Option<Plan> {
+        let reduced = reduce(shape);
+        self.plan_dims(reduced.dims().to_vec(), mask)
     }
 
     /// `true` if the planner covers `shape`.
@@ -135,24 +191,25 @@ impl Planner {
         obs::trace::instant("planner.rule.hit", rule::NAMES[r]);
     }
 
-    fn plan_dims(&mut self, dims: Vec<usize>) -> Option<Plan> {
-        if let Some(hit) = self.memo.get(&dims) {
+    fn plan_dims(&mut self, dims: Vec<usize>, mask: RuleMask) -> Option<Plan> {
+        let key = (mask, dims);
+        if let Some(hit) = self.memo.get(&key) {
             self.stats.memo_hit += 1;
             return hit.clone();
         }
         self.stats.memo_miss += 1;
         // Cycle guard (recursion always shrinks, but stay defensive).
-        self.memo.insert(dims.clone(), None);
-        let result = self.compute(&dims);
-        self.memo.insert(dims, result.clone());
+        self.memo.insert(key.clone(), None);
+        let result = self.compute(&key.1, mask);
+        self.memo.insert(key, result.clone());
         result
     }
 
-    fn compute(&mut self, dims: &[usize]) -> Option<Plan> {
+    fn compute(&mut self, dims: &[usize], mask: RuleMask) -> Option<Plan> {
         self.depth += 1;
         let d = (self.depth as usize).min(self.stats.depth_seen.len() - 1);
         self.stats.depth_seen[d] += 1;
-        let result = self.compute_rules(dims);
+        let result = self.compute_rules(dims, mask);
         self.depth -= 1;
         result
     }
@@ -193,39 +250,47 @@ impl Planner {
         }
     }
 
-    fn compute_rules(&mut self, dims: &[usize]) -> Option<Plan> {
+    fn compute_rules(&mut self, dims: &[usize], mask: RuleMask) -> Option<Plan> {
         let shape = Shape::new(dims);
         let total = shape.minimal_cube_dim();
 
         // 1. Gray.
-        self.stats.attempts[rule::GRAY] += 1;
-        if shape.gray_is_minimal() {
-            self.rule_hit(rule::GRAY);
-            return Some(Plan::Gray);
+        if mask.has(rule::GRAY) {
+            self.stats.attempts[rule::GRAY] += 1;
+            if shape.gray_is_minimal() {
+                self.rule_hit(rule::GRAY);
+                return Some(Plan::Gray);
+            }
         }
         // 2. Direct, exact…
-        self.stats.attempts[rule::DIRECT] += 1;
-        if catalog_lookup(&shape).is_some() {
-            self.rule_hit(rule::DIRECT);
-            return Some(Plan::Direct);
+        if mask.has(rule::DIRECT) {
+            self.stats.attempts[rule::DIRECT] += 1;
+            if catalog_lookup(&shape).is_some() {
+                self.rule_hit(rule::DIRECT);
+                return Some(Plan::Direct);
+            }
         }
         // …or by extension into a catalog shape with the same cube.
-        self.stats.attempts[rule::DIRECT_EXT] += 1;
-        if let Some(plan) = self.direct_extension(&shape, total) {
-            self.rule_hit(rule::DIRECT_EXT);
-            return Some(plan);
+        if mask.has(rule::DIRECT_EXT) {
+            self.stats.attempts[rule::DIRECT_EXT] += 1;
+            if let Some(plan) = self.direct_extension(&shape, total) {
+                self.rule_hit(rule::DIRECT_EXT);
+                return Some(plan);
+            }
         }
         // 3. Peel powers of two.
-        self.stats.attempts[rule::PEEL_POW2] += 1;
-        if let Some(plan) = self.peel_pow2(&shape, total) {
-            self.rule_hit(rule::PEEL_POW2);
-            return Some(plan);
+        if mask.has(rule::PEEL_POW2) {
+            self.stats.attempts[rule::PEEL_POW2] += 1;
+            if let Some(plan) = self.peel_pow2(&shape, total, mask) {
+                self.rule_hit(rule::PEEL_POW2);
+                return Some(plan);
+            }
         }
         match dims.len() {
             0 | 1 => None, // Gray is always minimal for rank ≤ 1; unreachable.
-            2 => self.plan2(&shape, total),
-            3 => self.plan3(&shape, total),
-            _ => self.plan_k(&shape, total),
+            2 => self.plan2(&shape, total, mask),
+            3 => self.plan3(&shape, total, mask),
+            _ => self.plan_k(&shape, total, mask),
         }
     }
 
@@ -253,7 +318,7 @@ impl Planner {
     }
 
     /// Rule 3: write `ℓᵢ = oᵢ·2^{eᵢ}`, plan the odd core, Gray the rest.
-    fn peel_pow2(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+    fn peel_pow2(&mut self, shape: &Shape, total: u32, mask: RuleMask) -> Option<Plan> {
         let mut odd = Vec::with_capacity(shape.rank());
         let mut pow = Vec::with_capacity(shape.rank());
         let mut epsilon = 0u32;
@@ -271,7 +336,7 @@ impl Planner {
         if odd_total + epsilon != total {
             return None;
         }
-        let p1 = self.plan(&odd_shape)?;
+        let p1 = self.replan(&odd_shape, mask)?;
         Some(Plan::Product {
             f1: odd_shape,
             p1: Box::new(p1),
@@ -281,7 +346,10 @@ impl Planner {
     }
 
     /// Rank-2 strategy: axis splits `ℓ → ℓ′·ℓ″ ≥ ℓ`.
-    fn plan2(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+    fn plan2(&mut self, shape: &Shape, total: u32, mask: RuleMask) -> Option<Plan> {
+        if !mask.has(rule::AXIS_SPLIT) {
+            return None;
+        }
         let (l1, l2) = (shape.len(0), shape.len(1));
         self.stats.attempts[rule::AXIS_SPLIT] += 1;
         // Split axis 1: pieces (l1 × ℓ′) and (1 × ℓ″).
@@ -298,7 +366,7 @@ impl Planner {
                 } else {
                     Shape::new(&[lp, la])
                 };
-                if let Some(p1) = self.plan(&piece) {
+                if let Some(p1) = self.replan(&piece, mask) {
                     self.rule_hit(rule::AXIS_SPLIT);
                     let f2 = if axis == 1 {
                         Shape::new(&[1, ls])
@@ -319,19 +387,23 @@ impl Planner {
     }
 
     /// Rank-3 strategy: catalog⊙quotient, pair + Gray, axis splits.
-    fn plan3(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+    fn plan3(&mut self, shape: &Shape, total: u32, mask: RuleMask) -> Option<Plan> {
         let l: Vec<usize> = shape.dims().to_vec();
 
         // 4. Catalog entry ⊙ planned factor (exact quotient or Gray
         //    extension).
-        self.stats.attempts[rule::CATALOG_PRODUCT] += 1;
-        if let Some(plan) = self.catalog_product3(shape, total) {
-            self.rule_hit(rule::CATALOG_PRODUCT);
-            return Some(plan);
+        if mask.has(rule::CATALOG_PRODUCT) {
+            self.stats.attempts[rule::CATALOG_PRODUCT] += 1;
+            if let Some(plan) = self.catalog_product3(shape, total, mask) {
+                self.rule_hit(rule::CATALOG_PRODUCT);
+                return Some(plan);
+            }
         }
 
         // 5. Pair + Gray third (method 2).
-        self.stats.attempts[rule::PAIR_GRAY] += 1;
+        if mask.has(rule::PAIR_GRAY) {
+            self.stats.attempts[rule::PAIR_GRAY] += 1;
+        }
         for c in 0..3 {
             // The two paired axes, in ascending index order: the pair's
             // plan is constructed against `reduce(f1)`, which keeps the
@@ -341,11 +413,14 @@ impl Planner {
                 1 => (0, 2),
                 _ => (0, 1),
             };
+            if !mask.has(rule::PAIR_GRAY) {
+                break;
+            }
             if cube_dim((l[a] * l[b]) as u64) + cube_dim(l[c] as u64) != total {
                 continue;
             }
             let pair = Shape::new(&[l[a], l[b]]);
-            if let Some(p1) = self.plan(&pair) {
+            if let Some(p1) = self.replan(&pair, mask) {
                 self.rule_hit(rule::PAIR_GRAY);
                 let mut f1 = vec![1usize; 3];
                 f1[a] = l[a];
@@ -362,6 +437,9 @@ impl Planner {
         }
 
         // 6. Axis split (method 4): ℓⱼ → ℓ′·ℓ″, pieces (la×ℓ′), (ℓ″×lb).
+        if !mask.has(rule::AXIS_SPLIT) {
+            return None;
+        }
         self.stats.attempts[rule::AXIS_SPLIT] += 1;
         for j in 0..3 {
             let a = (j + 1) % 3;
@@ -384,7 +462,9 @@ impl Planner {
                     } else {
                         Shape::new(&[l[b], ls])
                     };
-                    if let (Some(p1), Some(p2)) = (self.plan(&piece1), self.plan(&piece2)) {
+                    if let (Some(p1), Some(p2)) =
+                        (self.replan(&piece1, mask), self.replan(&piece2, mask))
+                    {
                         self.rule_hit(rule::AXIS_SPLIT);
                         let mut f1 = vec![1usize; 3];
                         f1[a] = l[a];
@@ -407,7 +487,7 @@ impl Planner {
 
     /// Rule 4 helper: 3-D catalog entries times exact quotients or Gray
     /// extension factors.
-    fn catalog_product3(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+    fn catalog_product3(&mut self, shape: &Shape, total: u32, mask: RuleMask) -> Option<Plan> {
         let l = shape.dims();
         for entry in catalog_entries() {
             if entry.dims.len() != 3 {
@@ -437,7 +517,7 @@ impl Planner {
                 if (0..3).all(|i| l[i].is_multiple_of(d[i])) {
                     let q: Vec<usize> = (0..3).map(|i| l[i] / d[i]).collect();
                     let q_shape = Shape::new(&q);
-                    if let Some(p2) = self.plan(&q_shape) {
+                    if let Some(p2) = self.replan(&q_shape, mask) {
                         if entry.host_dim + p2.host_dim(&reduce(&q_shape)) == total {
                             return Some(Plan::Product {
                                 f1: Shape::new(&d),
@@ -455,10 +535,13 @@ impl Planner {
 
     /// Rank ≥ 4 (beyond the paper): bipartitions and cross-partition axis
     /// splits.
-    fn plan_k(&mut self, shape: &Shape, total: u32) -> Option<Plan> {
+    fn plan_k(&mut self, shape: &Shape, total: u32, rules: RuleMask) -> Option<Plan> {
         let k = shape.rank();
         let l = shape.dims();
         // Bipartitions of the axis set.
+        if !rules.has(rule::BIPARTITION) {
+            return None;
+        }
         self.stats.attempts[rule::BIPARTITION] += 1;
         for mask in 1..(1u32 << k) - 1 {
             let mut g1 = vec![1usize; k];
@@ -477,7 +560,7 @@ impl Planner {
             if h1 + h2 != total {
                 continue;
             }
-            if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
+            if let (Some(p1), Some(p2)) = (self.replan(&s1, rules), self.replan(&s2, rules)) {
                 self.rule_hit(rule::BIPARTITION);
                 return Some(Plan::Product {
                     f1: s1,
@@ -488,6 +571,9 @@ impl Planner {
             }
         }
         // Axis splits across bipartitions of the remaining axes.
+        if !rules.has(rule::AXIS_SPLIT) {
+            return None;
+        }
         self.stats.attempts[rule::AXIS_SPLIT] += 1;
         for j in 0..k {
             if l[j] < 3 {
@@ -513,7 +599,8 @@ impl Planner {
                     if cube_dim(s1.nodes() as u64) + cube_dim(s2.nodes() as u64) != total {
                         continue;
                     }
-                    if let (Some(p1), Some(p2)) = (self.plan(&s1), self.plan(&s2)) {
+                    if let (Some(p1), Some(p2)) = (self.replan(&s1, rules), self.replan(&s2, rules))
+                    {
                         self.rule_hit(rule::AXIS_SPLIT);
                         return Some(Plan::Product {
                             f1: s1,

@@ -1,0 +1,210 @@
+//! Pluggable decomposition strategies ranked by confidence.
+//!
+//! The census-sweep builder and the query service both want more than
+//! "a plan": they want to know *which* family of machinery justified it
+//! and how much to trust that family, so the plan database can rank
+//! candidate plans and a future k-D planner can slot in beside the 3-D
+//! rules. A [`PlanStrategy`] is one such family — a named, confidence-
+//! weighted view onto the [`Planner`]'s rule space, restricted through
+//! [`RuleMask`] so a strategy's claim ("methods 1–3 cover this shape")
+//! is justified by exactly the rules it names, recursion included.
+//!
+//! Strategies mirror the paper's method sets S₁ ⊂ S₂ ⊂ S₃ ⊂ S₄: each
+//! widens the previous one, so trying them in descending confidence
+//! order and keeping the first hit records the *weakest* machinery that
+//! covers a shape — the same reading as the paper's cumulative census
+//! columns. Construction (route resolution) stays deferred: a strategy
+//! produces a [`Plan`], and callers decide if and when to lower it.
+
+use crate::plan::Plan;
+use crate::planner::{Planner, RuleMask};
+use cubemesh_topology::Shape;
+
+/// One pluggable decomposition family: a named, confidence-ranked
+/// proposal engine over shapes.
+pub trait PlanStrategy {
+    /// Stable machine-readable name, persisted in plan-database records.
+    fn name(&self) -> &'static str;
+
+    /// Confidence in `0..=1000` (per-mille). Ranks strategies: higher
+    /// means "prefer a plan from me over one from a lower-ranked
+    /// strategy for the same shape". The scale is ordinal, not a
+    /// probability.
+    fn confidence(&self) -> u16;
+
+    /// Propose a minimal-expansion dilation-≤2 plan for `shape`, or
+    /// `None` when this family's machinery does not cover it. `planner`
+    /// carries the shared memo table; masked passes never cross-read
+    /// wider passes' conclusions.
+    fn propose(&self, planner: &mut Planner, shape: &Shape) -> Option<Plan>;
+}
+
+/// A [`PlanStrategy`] defined by a rule mask — every built-in strategy
+/// is one of these; external crates can implement the trait directly.
+#[derive(Clone, Copy, Debug)]
+pub struct MaskedStrategy {
+    name: &'static str,
+    confidence: u16,
+    mask: RuleMask,
+}
+
+impl PlanStrategy for MaskedStrategy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn confidence(&self) -> u16 {
+        self.confidence
+    }
+
+    fn propose(&self, planner: &mut Planner, shape: &Shape) -> Option<Plan> {
+        planner.plan_masked(shape, self.mask)
+    }
+}
+
+/// Method 1 alone: whole-mesh binary-reflected Gray code. Dilation 1
+/// and congestion 1, exactly — the only strategy whose plans beat the
+/// dilation-2 family, hence the top confidence.
+pub const GRAY_WHOLE: MaskedStrategy = MaskedStrategy {
+    name: "gray",
+    confidence: 1000,
+    mask: RuleMask::GRAY,
+};
+
+/// Methods 1 + direct lookup: Gray, exact catalog hits, and catalog
+/// hits by axis extension inside the same cube. Plans are baked,
+/// hand-verified embeddings composed with nothing else.
+pub const DIRECT_CATALOG: MaskedStrategy = MaskedStrategy {
+    name: "direct",
+    confidence: 950,
+    mask: RuleMask::GRAY
+        .union(RuleMask::DIRECT)
+        .union(RuleMask::DIRECT_EXT),
+};
+
+/// Methods 1–3: the above plus power-of-two peeling, catalog ⊙ factor
+/// products and pair + Gray decompositions (§4.2 steps 1–3).
+pub const PRODUCT_DECOMPOSITION: MaskedStrategy = MaskedStrategy {
+    name: "product",
+    confidence: 850,
+    mask: RuleMask::GRAY
+        .union(RuleMask::DIRECT)
+        .union(RuleMask::DIRECT_EXT)
+        .union(RuleMask::PEEL_POW2)
+        .union(RuleMask::CATALOG_PRODUCT)
+        .union(RuleMask::PAIR_GRAY),
+};
+
+/// Methods 1–4 plus the rank ≥ 4 bipartition search: the full rule
+/// space, including the axis-split search `ℓⱼ → ℓ′·ℓ″ ≥ ℓⱼ`. Widest
+/// coverage, deepest recursion, most slack in the factor products.
+pub const AXIS_SPLIT_SEARCH: MaskedStrategy = MaskedStrategy {
+    name: "axis-split",
+    confidence: 750,
+    mask: RuleMask::ALL,
+};
+
+/// The built-in strategy ladder, descending by confidence — the order
+/// the plan-database builder and the service's cold-miss path try them.
+pub fn default_strategies() -> Vec<Box<dyn PlanStrategy + Send + Sync>> {
+    vec![
+        Box::new(GRAY_WHOLE),
+        Box::new(DIRECT_CATALOG),
+        Box::new(PRODUCT_DECOMPOSITION),
+        Box::new(AXIS_SPLIT_SEARCH),
+    ]
+}
+
+/// A strategy's successful proposal: the winning plan plus the
+/// provenance the plan database persists alongside it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrategyPlan {
+    /// Name of the strategy that produced the plan.
+    pub strategy: &'static str,
+    /// That strategy's confidence (per-mille).
+    pub confidence: u16,
+    /// The proposed plan.
+    pub plan: Plan,
+}
+
+/// Try `strategies` in the order given (callers pass them ranked by
+/// descending confidence) and return the first proposal, tagged with
+/// its provenance. `None` means no strategy covers the shape — for the
+/// 3-D universe, the ~3.9% census exception set.
+pub fn plan_with_strategies(
+    planner: &mut Planner,
+    shape: &Shape,
+    strategies: &[Box<dyn PlanStrategy + Send + Sync>],
+) -> Option<StrategyPlan> {
+    strategies.iter().find_map(|s| {
+        s.propose(planner, shape).map(|plan| StrategyPlan {
+            strategy: s.name(),
+            confidence: s.confidence(),
+            plan,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<Box<dyn PlanStrategy + Send + Sync>> {
+        default_strategies()
+    }
+
+    #[test]
+    fn ladder_is_ranked_descending() {
+        let s = ladder();
+        assert!(s.windows(2).all(|w| w[0].confidence() > w[1].confidence()));
+        assert_eq!(s[0].name(), "gray");
+        assert_eq!(s.last().map(|s| s.name()), Some("axis-split"));
+    }
+
+    #[test]
+    fn weakest_covering_strategy_wins() {
+        let mut planner = Planner::new();
+        let s = ladder();
+        // 4x8x16: Gray is minimal — method 1 takes it.
+        let hit = plan_with_strategies(&mut planner, &Shape::new(&[4, 8, 16]), &s);
+        assert_eq!(hit.map(|h| h.strategy), Some("gray"));
+        // 3x3x3: a direct catalog shape, not Gray-minimal.
+        let hit = plan_with_strategies(&mut planner, &Shape::new(&[3, 3, 3]), &s);
+        assert_eq!(hit.map(|h| h.strategy), Some("direct"));
+        // 5x6x7: needs a product decomposition.
+        let hit = plan_with_strategies(&mut planner, &Shape::new(&[5, 6, 7]), &s)
+            .expect("5x6x7 is covered");
+        assert_eq!(hit.strategy, "product");
+        assert_eq!(hit.confidence, 850);
+        // 5x5x5: the paper's open case — no strategy covers it.
+        assert!(plan_with_strategies(&mut planner, &Shape::new(&[5, 5, 5]), &s).is_none());
+    }
+
+    #[test]
+    fn masked_pass_agrees_with_full_planner_on_coverage() {
+        // The widest strategy must cover exactly what `Planner::plan`
+        // covers — RuleMask::ALL is the identity restriction.
+        let mut a = Planner::new();
+        let mut b = Planner::new();
+        for dims in [[3usize, 5, 17], [6, 11, 7], [9, 9, 9], [5, 7, 7]] {
+            let shape = Shape::new(&dims);
+            assert_eq!(
+                AXIS_SPLIT_SEARCH.propose(&mut a, &shape),
+                b.plan(&shape),
+                "{shape}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_recursion_stays_inside_the_mask() {
+        // 2x5x11 needs an axis split; the product-only strategy must
+        // not find a plan for it even though the full planner does.
+        let mut planner = Planner::new();
+        let shape = Shape::new(&[2, 5, 11]);
+        assert!(PRODUCT_DECOMPOSITION
+            .propose(&mut planner, &shape)
+            .is_none());
+        assert!(AXIS_SPLIT_SEARCH.propose(&mut planner, &shape).is_some());
+    }
+}

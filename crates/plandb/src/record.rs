@@ -1,0 +1,361 @@
+//! One database record: a shape key, the winning plan, its certificate
+//! and floors, and the provenance of the strategy that produced it —
+//! with a stable little-endian wire encoding.
+//!
+//! The plan itself is persisted in the canonical wire grammar
+//! ([`cubemesh_core::Plan::to_canonical_string`]) rather than any
+//! in-memory layout, so the record format survives `Plan` refactors and
+//! the fingerprint can be recomputed from the stored bytes alone.
+
+use crate::{DbError, MAX_KEY_RANK};
+use cubemesh_core::Plan;
+use std::fmt;
+
+/// Bound on the persisted canonical plan string. Real census plans up
+/// to 64³ are well under a kilobyte; the bound exists so a corrupt
+/// length field cannot drive a huge allocation.
+pub const MAX_PLAN_TEXT: usize = 1 << 20;
+
+/// Bound on the persisted strategy name.
+pub const MAX_STRATEGY_NAME: usize = 255;
+
+/// What kind of answer a record is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// The plan is a certified minimal-expansion dilation-≤2 embedding.
+    Certified,
+    /// No strategy produced a dilation-2 plan at minimal expansion (the
+    /// census exception set). The record's plan is the best-known
+    /// fallback — whole-mesh Gray code, certified at its own
+    /// (non-minimal) host dimension.
+    NoDilation2Plan,
+}
+
+impl fmt::Display for RecordStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordStatus::Certified => f.write_str("certified"),
+            RecordStatus::NoDilation2Plan => f.write_str("no-dilation2-plan"),
+        }
+    }
+}
+
+/// The persisted slice of a [`cubemesh_audit::Certificate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CertSummary {
+    /// Host cube dimension the plan certifies into.
+    pub host_dim: u32,
+    /// Certified dilation bound.
+    pub dilation: u32,
+    /// Certified congestion bound.
+    pub congestion: u32,
+    /// Certified worst-case load-factor.
+    pub load: u64,
+    /// Certified expansion `2^host_dim / Π ℓᵢ`.
+    pub expansion: f64,
+    /// Whether the host dimension is the minimal cube.
+    pub minimal: bool,
+}
+
+/// The persisted floor-oracle bounds ([`cubemesh_audit::mesh_floors`]),
+/// always stated against the *minimal* cube — so a fallback record's
+/// gap to optimality is explicit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FloorSummary {
+    /// The minimal cube dimension the floors are stated against.
+    pub host_dim: u32,
+    /// Dilation floor.
+    pub dilation: u32,
+    /// Congestion floor.
+    pub congestion: u32,
+    /// Load-factor floor.
+    pub load: u64,
+}
+
+/// One shape's full answer, as stored in and served from the database.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanRecord {
+    /// Canonical shape key: extents sorted ascending, unit axes dropped.
+    pub key: Vec<usize>,
+    /// Whether the plan is a certified dilation-2 answer or a fallback.
+    pub status: RecordStatus,
+    /// Name of the [`cubemesh_core::PlanStrategy`] that produced the
+    /// plan (`"gray-fallback"` for [`RecordStatus::NoDilation2Plan`]).
+    pub strategy: String,
+    /// That strategy's confidence in per-mille (0 for fallbacks).
+    pub confidence: u16,
+    /// The plan in the canonical wire grammar.
+    pub plan_text: String,
+    /// FNV-1a fingerprint of `plan_text` ([`cubemesh_audit::fnv1a`]).
+    pub fingerprint: u64,
+    /// The certificate the audit crate issued for `(key, plan)`.
+    pub cert: CertSummary,
+    /// Floor-oracle bounds at the minimal cube.
+    pub floors: FloorSummary,
+}
+
+impl PlanRecord {
+    /// Parse the persisted canonical plan back into a [`Plan`] tree.
+    pub fn plan(&self) -> Result<Plan, DbError> {
+        Ok(Plan::parse(&self.plan_text)?)
+    }
+
+    /// Host-dimension gap to the minimal cube: `0` for every certified
+    /// record, and the expansion cost of the fallback otherwise (e.g.
+    /// `2` for the 5×5×5 Gray fallback: host 9 vs minimal 7).
+    pub fn host_dim_gap(&self) -> u32 {
+        self.cert.host_dim.saturating_sub(self.floors.host_dim)
+    }
+
+    /// Certified dilation minus the floor — `0` means provably optimal
+    /// dilation at the certified host dimension.
+    pub fn dilation_gap(&self) -> u32 {
+        self.cert.dilation.saturating_sub(self.floors.dilation)
+    }
+
+    /// Append the record's wire encoding (little-endian, no framing) to
+    /// `out`. The layout is pinned by `format::VERSION`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), DbError> {
+        if self.key.is_empty() || self.key.len() > MAX_KEY_RANK {
+            return Err(DbError::BadKey {
+                reason: format!("rank {} out of 1..={MAX_KEY_RANK}", self.key.len()),
+            });
+        }
+        if self.strategy.len() > MAX_STRATEGY_NAME {
+            return Err(DbError::TooLarge {
+                what: "strategy name",
+                len: self.strategy.len() as u64,
+                max: MAX_STRATEGY_NAME as u64,
+            });
+        }
+        if self.plan_text.len() > MAX_PLAN_TEXT {
+            return Err(DbError::TooLarge {
+                what: "plan text",
+                len: self.plan_text.len() as u64,
+                max: MAX_PLAN_TEXT as u64,
+            });
+        }
+        out.push(rank_byte(self.key.len()));
+        for &d in &self.key {
+            out.extend_from_slice(&extent_u32(d)?.to_le_bytes());
+        }
+        out.push(match self.status {
+            RecordStatus::Certified => 0,
+            RecordStatus::NoDilation2Plan => 1,
+        });
+        out.push(rank_byte(self.strategy.len()));
+        out.extend_from_slice(self.strategy.as_bytes());
+        out.extend_from_slice(&self.confidence.to_le_bytes());
+        let text_bytes = u32::try_from(self.plan_text.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&text_bytes.to_le_bytes());
+        out.extend_from_slice(self.plan_text.as_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.cert.host_dim.to_le_bytes());
+        out.extend_from_slice(&self.cert.dilation.to_le_bytes());
+        out.extend_from_slice(&self.cert.congestion.to_le_bytes());
+        out.extend_from_slice(&self.cert.load.to_le_bytes());
+        out.extend_from_slice(&self.cert.expansion.to_bits().to_le_bytes());
+        out.push(u8::from(self.cert.minimal));
+        out.extend_from_slice(&self.floors.host_dim.to_le_bytes());
+        out.extend_from_slice(&self.floors.dilation.to_le_bytes());
+        out.extend_from_slice(&self.floors.congestion.to_le_bytes());
+        out.extend_from_slice(&self.floors.load.to_le_bytes());
+        Ok(())
+    }
+
+    /// Decode one record from `bytes`, which must contain exactly one
+    /// encoded record. Never allocates more than the format bounds.
+    pub fn decode(bytes: &[u8]) -> Result<PlanRecord, DbError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let rank = usize::from(cur.u8("key rank")?);
+        if rank == 0 || rank > MAX_KEY_RANK {
+            return Err(cur.corrupt(format!("key rank {rank} out of 1..={MAX_KEY_RANK}")));
+        }
+        let mut key = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            key.push(cur.u32("key extent")? as usize);
+        }
+        let status = match cur.u8("status")? {
+            0 => RecordStatus::Certified,
+            1 => RecordStatus::NoDilation2Plan,
+            other => return Err(cur.corrupt(format!("unknown status {other}"))),
+        };
+        let name_bytes = usize::from(cur.u8("strategy length")?);
+        let strategy = cur.utf8("strategy name", name_bytes)?;
+        let confidence = cur.u16("confidence")?;
+        let text_bytes = cur.u32("plan length")? as usize;
+        if text_bytes > MAX_PLAN_TEXT {
+            return Err(cur.corrupt(format!("plan length {text_bytes} exceeds {MAX_PLAN_TEXT}")));
+        }
+        let plan_text = cur.utf8("plan text", text_bytes)?;
+        let fingerprint = cur.u64("fingerprint")?;
+        let cert = CertSummary {
+            host_dim: cur.u32("cert host dim")?,
+            dilation: cur.u32("cert dilation")?,
+            congestion: cur.u32("cert congestion")?,
+            load: cur.u64("cert load")?,
+            expansion: f64::from_bits(cur.u64("cert expansion")?),
+            minimal: cur.u8("cert minimal")? != 0,
+        };
+        let floors = FloorSummary {
+            host_dim: cur.u32("floor host dim")?,
+            dilation: cur.u32("floor dilation")?,
+            congestion: cur.u32("floor congestion")?,
+            load: cur.u64("floor load")?,
+        };
+        if cur.pos != bytes.len() {
+            return Err(cur.corrupt(format!(
+                "{} trailing bytes after record",
+                bytes.len() - cur.pos
+            )));
+        }
+        Ok(PlanRecord {
+            key,
+            status,
+            strategy,
+            confidence,
+            plan_text,
+            fingerprint,
+            cert,
+            floors,
+        })
+    }
+}
+
+fn rank_byte(n: usize) -> u8 {
+    u8::try_from(n).unwrap_or(u8::MAX)
+}
+
+fn extent_u32(d: usize) -> Result<u32, DbError> {
+    u32::try_from(d).map_err(|_| DbError::BadKey {
+        reason: format!("extent {d} does not fit the wire format"),
+    })
+}
+
+/// A bounds-checked little-endian reader over a record payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn corrupt(&self, what: String) -> DbError {
+        DbError::Corrupt {
+            offset: self.pos as u64,
+            what,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], DbError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(self.corrupt(format!("truncated {what}"))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DbError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, DbError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DbError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DbError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn utf8(&mut self, what: &str, n: usize) -> Result<String, DbError> {
+        let b = self.take(n, what)?;
+        match std::str::from_utf8(b) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => Err(DbError::Corrupt {
+                offset: self.pos as u64,
+                what: format!("{what} is not UTF-8"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanRecord {
+        PlanRecord {
+            key: vec![3, 5, 17],
+            status: RecordStatus::Certified,
+            strategy: "product".to_owned(),
+            confidence: 850,
+            plan_text: "(3x5x1 d * 1x1x17 g)".to_owned(),
+            fingerprint: 0xdead_beef_cafe_f00d,
+            cert: CertSummary {
+                host_dim: 9,
+                dilation: 2,
+                congestion: 2,
+                load: 1,
+                expansion: 512.0 / 255.0,
+                minimal: true,
+            },
+            floors: FloorSummary {
+                host_dim: 8,
+                dilation: 2,
+                congestion: 1,
+                load: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let rec = sample();
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf).expect("encode");
+        assert_eq!(PlanRecord::decode(&buf).expect("decode"), rec);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let rec = sample();
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf).expect("encode");
+        for cut in 0..buf.len() {
+            assert!(
+                PlanRecord::decode(&buf[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let rec = sample();
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf).expect("encode");
+        buf.push(0);
+        assert!(PlanRecord::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn gaps_read_off_the_record() {
+        let mut rec = sample();
+        assert_eq!(rec.host_dim_gap(), 1);
+        assert_eq!(rec.dilation_gap(), 0);
+        rec.cert.dilation = 1; // gray fallback shape: dilation below the minimal-cube floor
+        assert_eq!(rec.dilation_gap(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Satellite: the census exception set is *recorded*, not skipped.
+//!
+//! Ho & Johnsson report that ~3.9% of shapes up to 64³ admit no known
+//! minimal-expansion dilation-2 embedding. The database must carry an
+//! explicit [`RecordStatus::NoDilation2Plan`] record for each of them —
+//! with the floor-oracle gap stated and a certified best-known fallback
+//! plan attached — so a query for 5×5×5 gets an answer, not a hole.
+
+use cubemesh_core::Plan;
+use cubemesh_plandb::{build, BuildConfig, PlanDb, RecordStatus};
+use cubemesh_topology::Shape;
+
+#[test]
+fn exception_shapes_get_explicit_fallback_records() {
+    let dir = std::env::temp_dir().join(format!("cubemesh-plandb-exc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let out = dir.join("plans.db");
+
+    // max_axis 17 covers every paper exception at ≤ 256 nodes,
+    // including (3,5,17).
+    build(&BuildConfig::new(17), &out).expect("build");
+    let db = PlanDb::open(&out).expect("open");
+
+    // Exceptions whose axes fit the swept universe. (The constructive
+    // list also names rank-2 shapes like 3×85 beyond max_axis 17 —
+    // those are simply outside this database.)
+    let exceptions: Vec<[usize; 3]> = cubemesh_census::constructive_exceptions_up_to(256)
+        .into_iter()
+        .map(|(a, b, c)| [a, b, c])
+        .filter(|d| d.iter().all(|&x| x <= 17))
+        .collect();
+    for paper_listed in [[3, 5, 17], [3, 9, 9], [5, 5, 5], [5, 5, 10], [5, 7, 7]] {
+        assert!(exceptions.contains(&paper_listed), "{paper_listed:?}");
+    }
+    for dims in &exceptions {
+        let rec = db
+            .get(dims)
+            .expect("lookup")
+            .unwrap_or_else(|| panic!("{dims:?} must have a record"));
+        assert_eq!(
+            rec.status,
+            RecordStatus::NoDilation2Plan,
+            "{dims:?} is in the exception set"
+        );
+        // The fallback is the whole-mesh Gray code, certified at its own
+        // host dimension: dilation 1, congestion 1, but non-minimal.
+        assert_eq!(rec.plan().expect("fallback parses"), Plan::Gray);
+        assert_eq!(rec.strategy, "gray-fallback");
+        assert_eq!(rec.confidence, 0);
+        assert_eq!(rec.cert.dilation, 1);
+        assert!(!rec.cert.minimal);
+        // The floor-oracle gap is explicit: the fallback overshoots the
+        // minimal cube by at least one dimension.
+        let shape = Shape::new(dims);
+        assert_eq!(rec.floors.host_dim, shape.minimal_cube_dim());
+        assert_eq!(rec.cert.host_dim, shape.gray_cube_dim());
+        assert!(rec.host_dim_gap() >= 1, "{dims:?}");
+    }
+
+    // And conversely: every NoDilation2Plan record in this universe at
+    // ≤256 nodes is one of the paper's exceptions.
+    let paper: std::collections::BTreeSet<Vec<usize>> = exceptions
+        .into_iter()
+        .map(|d| d.into_iter().filter(|&x| x > 1).collect())
+        .collect();
+    for key in db.keys() {
+        let rec = db.get(&key).expect("lookup").expect("present");
+        if rec.status == RecordStatus::NoDilation2Plan {
+            let nodes: usize = key.iter().product();
+            if nodes <= 256 {
+                assert!(
+                    paper.contains(&key),
+                    "{key:?} flagged uncovered but not a census exception"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -109,14 +109,15 @@ cargo run --release -q -p cubemesh-audit -- certify --json --sweep 8 \
 test -s target/audit-certify.json
 echo "wrote target/audit-certify.json"
 
-echo "== bench: quick smoke + perf-trajectory gate vs BENCH_3.json =="
+echo "== bench: quick smoke + perf-trajectory gate vs BENCH_3/BENCH_5 =="
 # The bench bin exits non-zero if the parallel and sequential engines
 # disagree on any shape, if the BENCH_4 replay rung violates its
 # congestion certificate, or if any compare metric regresses past
-# tolerance against the committed baseline. Full ladders stay out of
-# tier-1; --quick runs the small shapes plus one replay point. The run
-# is traced, and the trace plus the compare report are archived under
-# target/ for inspection.
+# tolerance against the committed baselines (BENCH_3 shape/kernel rungs
+# and BENCH_5 query-service rungs). Full ladders stay out of tier-1;
+# --quick runs the small shapes plus one replay point (the service
+# ladder always runs at fixed parameters). The run is traced, and the
+# trace plus the compare report are archived under target/.
 mkdir -p target
 # --reps 25: the 16^3 rung is sub-millisecond, so min-of-3 timing is
 # too noisy for a 15% gate; min-of-25 stays within a few percent.
@@ -124,27 +125,33 @@ cargo run --release -q -p cubemesh-bench --bin cubemesh-bench -- \
     --quick --reps 25 --json --out target/bench-quick.json \
     --replay-out target/replay-report.json \
     --compare BENCH_3.json --compare-out target/bench-compare.json \
+    --service-out target/bench-service.json \
+    --compare-service BENCH_5.json \
     --trace target/trace-quick.json >/dev/null
 test -s target/bench-quick.json
 test -s target/replay-report.json
 test -s target/bench-compare.json
+test -s target/bench-service.json
 test -s target/trace-quick.json
 echo "wrote target/bench-quick.json target/replay-report.json" \
-     "target/bench-compare.json target/trace-quick.json"
+     "target/bench-compare.json target/bench-service.json target/trace-quick.json"
 
 echo "== bench: injected-regression self-test (the gate must trip) =="
 # --inject-regression deflates this run's throughput 25%, past the 15%
 # tolerance; the compare gate failing to exit non-zero is itself a
-# failure. Compared against the quick doc written seconds ago (not the
-# committed baseline), so host drift since the baseline was recorded
+# failure. Compared against the quick docs written seconds ago (not the
+# committed baselines), so host drift since the baselines were recorded
 # can't eat the injection margin.
 if cargo run --release -q -p cubemesh-bench --bin cubemesh-bench -- \
     --quick --reps 25 --no-replay --out /tmp/cubemesh_bench_inject.json \
-    --compare target/bench-quick.json --inject-regression >/dev/null 2>&1; then
+    --service-out /tmp/cubemesh_bench5_inject.json \
+    --compare target/bench-quick.json \
+    --compare-service target/bench-service.json \
+    --inject-regression >/dev/null 2>&1; then
     echo "ERROR: injected regression did not trip the compare gate" >&2
     exit 1
 fi
-rm -f /tmp/cubemesh_bench_inject.json
+rm -f /tmp/cubemesh_bench_inject.json /tmp/cubemesh_bench5_inject.json
 echo "compare gate trips on an injected regression, as designed."
 
 echo "== trace: determinism (event sequence stable modulo timestamps) =="
@@ -176,6 +183,58 @@ CUBEMESH_THREADS=8 cargo run --release -q --bin cubemesh -- \
 diff target/replay-threads-1.json target/replay-threads-8.json
 echo "replay report identical at pool width 1 and 8" \
      "(target/replay-threads-{1,8}.json)"
+
+echo "== service: census DB determinism (pool width 1 vs 8, resume) =="
+# The census plan database must be a pure function of its key universe:
+# byte-identical whether the sweep ran on one pool worker or eight, and
+# byte-identical when rebuilt entirely from a prior run's checkpoint.
+SRV_DIR=$(mktemp -d)
+CUBEMESH_THREADS=1 cargo run --release -q -p cubemesh-service --bin cubemesh-serve -- \
+    build --max-axis 16 --out "$SRV_DIR/plans-t1.db" >/dev/null
+CUBEMESH_THREADS=8 cargo run --release -q -p cubemesh-service --bin cubemesh-serve -- \
+    build --max-axis 16 --out "$SRV_DIR/plans-t8.db" \
+    --checkpoint "$SRV_DIR/sweep.ck" >/dev/null
+cmp "$SRV_DIR/plans-t1.db" "$SRV_DIR/plans-t8.db"
+# Rebuild against the finished checkpoint: every shape must resume (the
+# report says so) and the bytes must still match the fresh builds.
+resume_report=$(cargo run --release -q -p cubemesh-service --bin cubemesh-serve -- \
+    build --max-axis 16 --out "$SRV_DIR/plans-resume.db" \
+    --checkpoint "$SRV_DIR/sweep.ck")
+echo "$resume_report"
+echo "$resume_report" | grep -q '"resumed":0}' && {
+    echo "ERROR: checkpointed rebuild resumed nothing" >&2; exit 1; }
+cmp "$SRV_DIR/plans-t1.db" "$SRV_DIR/plans-resume.db"
+echo "census DB byte-identical at pool width 1/8 and across a checkpoint resume"
+
+echo "== service: TCP smoke (batched census query, cold miss, shutdown) =="
+# Start cubemesh-serve on an ephemeral port, then drive it with its own
+# query client: 1024 census shapes (database hits) plus one shape
+# outside the universe (a live-planned cold miss that must land in the
+# write-behind overflow log). The client exits non-zero if any result
+# lacks a certificate, floors, a plan or a fingerprint, so certificate
+# presence on every response is part of the gate. Shutdown goes through
+# the protocol and the server process must exit cleanly.
+cargo run --release -q -p cubemesh-service --bin cubemesh-serve -- \
+    --db "$SRV_DIR/plans-t1.db" --overflow "$SRV_DIR/cold.ck" --workers 4 \
+    > "$SRV_DIR/serve.out" &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+    grep -q '"listening"' "$SRV_DIR/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+SRV_ADDR=$(sed -E 's/.*"listening":"([^"]+)".*/\1/' "$SRV_DIR/serve.out" | head -1)
+test -n "$SRV_ADDR"
+query_report=$(cargo run --release -q -p cubemesh-service --bin cubemesh-serve -- \
+    query --addr "$SRV_ADDR" --census-max 16 --count 1024 --shapes "31x31x31")
+echo "$query_report"
+echo "$query_report" | grep -q '"db":'     # census shapes answered from the DB
+echo "$query_report" | grep -q '"live":'   # the cold miss was planned live
+cargo run --release -q -p cubemesh-service --bin cubemesh-serve -- \
+    shutdown --addr "$SRV_ADDR" >/dev/null
+wait "$SRV_PID"
+test -s "$SRV_DIR/cold.ck"                 # overflow log holds the cold miss
+rm -rf "$SRV_DIR"
+echo "service answered 1025 shapes with certificates and shut down cleanly"
 
 echo "== replay: determinism + conservation smoke =="
 # --check replays the same recorded trace twice and exits non-zero unless
